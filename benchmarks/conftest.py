@@ -1,0 +1,28 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures and registers
+the rendered artifact here; the terminal summary prints them all, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures both
+the timings and the reproduced results.
+"""
+
+from __future__ import annotations
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def register_report(title: str, text: str) -> None:
+    """Register a rendered artifact for the end-of-run summary (deduped)."""
+    if all(existing_title != title for existing_title, _ in _REPORTS):
+        _REPORTS.append((title, text))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artifacts")
+    for title, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,57 @@
+"""Ablation — ReservationDelayDepth (the paper's new scheduler knob).
+
+The depth controls how many StartLater jobs have their delays measured per
+dynamic request: deeper means better-informed fairness decisions at a higher
+per-request cost (the trade Fig. 5 and Section III-C discuss).
+"""
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.experiments.configs import ESPConfiguration
+from repro.experiments.runner import run_esp_configuration
+from repro.maui.config import DFSConfig, MauiConfig
+from repro.metrics.report import render_table
+
+DEPTHS = [1, 3, 5, 10]
+_rows: dict[int, list] = {}
+
+
+def config_with_depth(depth: int) -> ESPConfiguration:
+    # reservation_depth is held at 1 so plan_depth == reservation_delay_depth:
+    # the ablation isolates the delay-measurement knob from backfill policy
+    return ESPConfiguration(
+        name=f"Dyn-500/depth{depth}",
+        maui=MauiConfig(
+            reservation_depth=1,
+            reservation_delay_depth=depth,
+            dfs=DFSConfig.target_delay_for_all(500.0),
+        ),
+        dynamic_workload=True,
+    )
+
+
+@pytest.mark.benchmark(group="ablation-depth")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_reservation_delay_depth(benchmark, depth):
+    result = benchmark.pedantic(
+        run_esp_configuration, args=(config_with_depth(depth),), rounds=1, iterations=1
+    )
+    m = result.metrics
+    assert m.completed_jobs == 230
+    _rows[depth] = [
+        depth,
+        m.satisfied_dyn_jobs,
+        result.scheduler_stats["dyn_rejected_fairness"],
+        f"{m.workload_time_minutes:.1f}",
+        f"{100 * m.utilization:.1f}",
+        f"{1e3 * result.scheduler_stats['dyn_handle_seconds'] / max(1, result.scheduler_stats['dyn_granted'] + result.scheduler_stats['dyn_rejected']):.2f}",
+    ]
+    if len(_rows) == len(DEPTHS):
+        register_report(
+            "Ablation — ReservationDelayDepth under Dyn-500",
+            render_table(
+                ["Depth", "Satisfied", "Fairness rejects", "Time[min]", "Util[%]", "ms/request"],
+                [_rows[d] for d in DEPTHS],
+            ),
+        )

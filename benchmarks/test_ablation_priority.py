@@ -1,0 +1,61 @@
+"""Ablation — static priority policies under the dynamic workload.
+
+The paper runs ESP with FIFO-ish priorities (its focus is the *dynamic*
+fairness layer); Maui's factor model offers more.  This ablation replays the
+dynamic ESP workload under different priority weightings and reports system
+metrics plus the per-user wait-fairness index — showing how the static
+priority layer and the paper's dynamic layer compose.
+"""
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.maui.config import MauiConfig, PriorityWeightsConfig
+from repro.metrics.report import render_table
+from repro.system import BatchSystem
+from repro.workloads.esp import make_esp_workload
+
+POLICIES = {
+    "FIFO (paper)": PriorityWeightsConfig(queue_time=1.0),
+    "XFactor": PriorityWeightsConfig(queue_time=0.0, expansion_factor=100.0),
+    "Fairshare": PriorityWeightsConfig(queue_time=1.0, fairshare=5000.0),
+    "Wide-first": PriorityWeightsConfig(queue_time=1.0, service=100.0),
+}
+_rows: dict[str, list] = {}
+
+
+def run_policy(name: str) -> BatchSystem:
+    system = BatchSystem(
+        15,
+        8,
+        MauiConfig(
+            reservation_depth=5, reservation_delay_depth=5, weights=POLICIES[name]
+        ),
+    )
+    make_esp_workload(120, dynamic=True, seed=2014).submit_to(system)
+    system.run(max_events=5_000_000)
+    return system
+
+
+@pytest.mark.benchmark(group="ablation-priority")
+@pytest.mark.parametrize("name", list(POLICIES))
+def test_priority_policy(benchmark, name):
+    system = benchmark.pedantic(run_policy, args=(name,), rounds=1, iterations=1)
+    m = system.metrics()
+    assert m.completed_jobs == 230
+    _rows[name] = [
+        name,
+        f"{m.workload_time_minutes:.1f}",
+        m.satisfied_dyn_jobs,
+        f"{100 * m.utilization:.1f}",
+        f"{m.mean_wait:.0f}",
+        f"{m.wait_fairness_index:.3f}",
+    ]
+    if len(_rows) == len(POLICIES):
+        register_report(
+            "Ablation — static priority policies under the dynamic ESP workload",
+            render_table(
+                ["Policy", "Time[min]", "Satisfied", "Util[%]", "Mean wait[s]", "Wait fairness (Jain)"],
+                [_rows[n] for n in POLICIES],
+            ),
+        )

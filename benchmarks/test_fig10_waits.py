@@ -1,0 +1,21 @@
+"""Fig. 10 — waiting times: Static vs Dyn-HP vs Dyn-500."""
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.experiments.fig10 import render_fig10, run_fig10
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_wait_comparison(benchmark):
+    results, rows = benchmark.pedantic(run_fig10, kwargs={"seed": 2014}, rounds=1, iterations=1)
+    assert len(rows) == 230
+
+    def spread(name):
+        waits = [r[name] for r in rows if r[name] is not None and r["Static"] is not None]
+        base = [r["Static"] for r in rows if r[name] is not None and r["Static"] is not None]
+        return max(abs(w - s) for w, s in zip(waits, base))
+
+    # Dyn-500's waits hug the static curve more tightly than Dyn-HP's
+    assert spread("Dyn-500") <= spread("Dyn-HP")
+    register_report("Fig. 10 — waiting times: Static vs Dyn-HP vs Dyn-500", render_fig10(2014))

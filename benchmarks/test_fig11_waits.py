@@ -1,0 +1,22 @@
+"""Fig. 11 — waiting times: Static vs Dyn-HP vs Dyn-600."""
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.experiments.fig11 import render_fig11, run_fig11
+from repro.experiments.runner import run_esp_configuration_cached
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_wait_comparison(benchmark):
+    results, rows = benchmark.pedantic(run_fig11, kwargs={"seed": 2014}, rounds=1, iterations=1)
+    assert len(rows) == 230
+    # the moderate policy recovers most of Dyn-HP's system performance …
+    hp = run_esp_configuration_cached("Dyn-HP", seed=2014).metrics
+    dyn600 = run_esp_configuration_cached("Dyn-600", seed=2014).metrics
+    static = run_esp_configuration_cached("Static", seed=2014).metrics
+    assert dyn600.workload_time < static.workload_time
+    gap_to_hp = dyn600.workload_time - hp.workload_time
+    gap_static_hp = static.workload_time - hp.workload_time
+    assert gap_to_hp <= 0.6 * gap_static_hp
+    register_report("Fig. 11 — waiting times: Static vs Dyn-HP vs Dyn-600", render_fig11(2014))

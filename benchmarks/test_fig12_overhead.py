@@ -1,0 +1,57 @@
+"""Fig. 12 — overhead of dynamic allocation of 1-10 nodes.
+
+This is the one experiment whose *measured quantity is wall-clock time*, so
+pytest-benchmark is the measurement instrument itself: each benchmark times
+the scheduler's dynamic-request path (allocation search + profile build +
+delay measurement + fairness check + grant) on a freshly prepared scenario.
+"""
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.experiments.fig12 import measure_overhead, render_fig12, setup_overhead_scenario
+from repro.metrics.report import render_table
+
+
+@pytest.mark.benchmark(group="fig12-empty")
+@pytest.mark.parametrize("nodes", [1, 2, 4, 6, 8, 10])
+def test_fig12_overhead_empty(benchmark, nodes):
+    def setup():
+        probe = setup_overhead_scenario(loaded=False)
+        return (probe,), {}
+
+    def request(probe):
+        return probe.request(nodes)
+
+    benchmark.pedantic(request, setup=setup, rounds=10, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig12-loaded")
+@pytest.mark.parametrize("nodes", [1, 2, 4, 6, 8, 10])
+def test_fig12_overhead_loaded(benchmark, nodes):
+    def setup():
+        probe = setup_overhead_scenario(loaded=True)
+        return (probe,), {}
+
+    def request(probe):
+        return probe.request(nodes)
+
+    benchmark.pedantic(request, setup=setup, rounds=10, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_shape(benchmark):
+    def curves():
+        rows = []
+        for nodes in range(1, 11):
+            empty = min(measure_overhead(nodes, loaded=False) for _ in range(3))
+            loaded = min(measure_overhead(nodes, loaded=True) for _ in range(3))
+            rows.append({"nodes": nodes, "empty_ms": empty * 1e3, "loaded_ms": loaded * 1e3})
+        return rows
+
+    rows = benchmark.pedantic(curves, rounds=1, iterations=1)
+    # paper shape: sub-second everywhere; delay measurement makes the loaded
+    # case consistently more expensive
+    assert all(r["empty_ms"] < 1000 and r["loaded_ms"] < 1000 for r in rows)
+    assert sum(r["loaded_ms"] for r in rows) > sum(r["empty_ms"] for r in rows)
+    register_report("Fig. 12 — dynamic allocation overhead (wall-clock)", render_fig12(rows))

@@ -1,0 +1,30 @@
+"""Fig. 7 — Quadflow per-phase execution times (static 16/32, dynamic 16→32)."""
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.apps.quadflow import CYLINDER, FLAT_PLATE
+from repro.experiments.fig7 import render_fig7, run_fig7, run_quadflow_case
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("case", [FLAT_PLATE, CYLINDER], ids=lambda c: c.name)
+def test_fig7_dynamic_run(benchmark, case):
+    run = benchmark(run_quadflow_case, case, dynamic=True, start_nodes=2)
+    static16 = run_quadflow_case(case, dynamic=False, start_nodes=2)
+    saving = (static16.total - run.total) / static16.total
+    expected = {"FlatPlate": 0.17, "Cylinder": 0.333}[case.name]
+    assert saving == pytest.approx(expected, abs=0.01)
+    benchmark.extra_info["saving_pct"] = round(100 * saving, 1)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_all_bars(benchmark):
+    runs = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    assert len(runs) == 6
+    # paper: identical time to the final adaptation on 16 vs 32 cores
+    for case_name in ("FlatPlate", "Cylinder"):
+        s16 = next(r for r in runs if r.case == case_name and r.label == "static-16")
+        s32 = next(r for r in runs if r.case == case_name and r.label == "static-32")
+        assert sum(s16.phase_times[:-1]) == pytest.approx(sum(s32.phase_times[:-1]))
+    register_report("Fig. 7 — Quadflow execution times by adaptation phase", render_fig7(runs))

@@ -1,0 +1,29 @@
+"""Fig. 8 — per-job waiting times: Static vs Dynamic-HP."""
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.experiments.fig8 import CONFIGS, render_fig8, run_fig8
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_wait_comparison(benchmark):
+    results, rows = benchmark.pedantic(run_fig8, kwargs={"seed": 2014}, rounds=1, iterations=1)
+    assert len(rows) == 230
+    delayed = [
+        r for r in rows
+        if r["Static"] is not None and r["Dyn-HP"] is not None
+        and r["Dyn-HP"] > r["Static"] + 1.0
+    ]
+    improved = [
+        r for r in rows
+        if r["Static"] is not None and r["Dyn-HP"] is not None
+        and r["Dyn-HP"] < r["Static"] - 1.0
+    ]
+    # the paper's signature shape: a contiguous band of mid-submission jobs
+    # waits longer under Dyn-HP while the majority improves
+    assert len(delayed) > 10
+    assert len(improved) > len(delayed)
+    hp, static = (next(r for r in results if r.name == n) for n in ("Dyn-HP", "Static"))
+    assert hp.metrics.mean_wait < static.metrics.mean_wait
+    register_report("Fig. 8 — waiting times: Static vs Dyn-HP", render_fig8(2014))

@@ -1,0 +1,21 @@
+"""Fig. 9 — waiting times of type-L jobs under all four configurations."""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.experiments.fig9 import render_fig9, run_fig9
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_type_l_waits(benchmark):
+    results, rows = benchmark.pedantic(run_fig9, kwargs={"seed": 2014}, rounds=1, iterations=1)
+    assert len(rows) == 36
+    means = {
+        name: statistics.mean(r[name] for r in rows)
+        for name in ("Static", "Dyn-HP", "Dyn-500", "Dyn-600")
+    }
+    # the DFS policies pull type-L waits back toward (or below) static
+    assert means["Dyn-500"] <= means["Dyn-HP"] * 1.05
+    register_report("Fig. 9 — type L waiting times (all configurations)", render_fig9(2014))

@@ -1,0 +1,85 @@
+"""Simulator kernel micro-benchmarks.
+
+Not a paper artifact — these guard the performance of the data structures
+everything else sits on (the "measure before optimising" discipline): event
+throughput of the engine, availability-profile queries at realistic
+breakpoint counts, and the full-iteration cost of the scheduler on a deep
+queue.
+"""
+
+import pytest
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.profile import AvailabilityProfile
+from repro.maui.config import MauiConfig
+from repro.sim.engine import Engine
+from repro.system import BatchSystem
+from repro.apps.synthetic import FixedRuntimeApp
+from repro.jobs.job import Job
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_engine_event_throughput(benchmark):
+    """Schedule + dispatch 10k events."""
+
+    def run_events():
+        engine = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for i in range(10_000):
+            engine.at(float(i % 100), tick)
+        engine.run()
+        return count
+
+    assert benchmark(run_events) == 10_000
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_profile_earliest_fit_under_load(benchmark):
+    """earliest_fit over a profile with ~200 breakpoints on 15 nodes."""
+    nodes = list(range(15))
+    base = AvailabilityProfile(nodes, {i: 8 for i in nodes}, 0.0, {i: 8 for i in nodes})
+    for k in range(100):
+        node = k % 15
+        start = float(k * 13 % 997)
+        base.add_claim(start, start + 50.0, Allocation({node: 4}))
+
+    def query():
+        prof = base.copy()
+        return prof.earliest_fit(ResourceRequest(cores=60), 120.0)
+
+    t, alloc = benchmark(query)
+    assert alloc.total_cores == 60
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_scheduler_iteration_deep_queue(benchmark):
+    """One full iteration with 60 queued jobs and a loaded machine."""
+
+    def setup():
+        system = BatchSystem(
+            15, 8, MauiConfig(reservation_depth=5, reservation_delay_depth=5)
+        )
+        # fill the machine
+        for i in range(15):
+            system.submit(
+                Job(request=ResourceRequest(cores=8), walltime=5000.0, user=f"r{i%4}"),
+                FixedRuntimeApp(5000.0),
+            )
+        # deep queue of blocked jobs
+        for i in range(60):
+            system.submit(
+                Job(request=ResourceRequest(cores=32), walltime=600.0, user=f"q{i%6}"),
+                FixedRuntimeApp(600.0),
+            )
+        system.run(until=0.0)
+        return (system,), {}
+
+    def iterate(system):
+        system.scheduler.iteration()
+
+    benchmark.pedantic(iterate, setup=setup, rounds=10, iterations=1)

@@ -1,0 +1,65 @@
+"""Scaling — simulator cost and schedule quality vs machine size.
+
+ESP is defined in machine fractions, so the same 230-job workload scales to
+any core count.  This bench runs the Dyn-HP configuration on machines from
+8x8 to 64x8 cores, reporting both simulator wall-clock cost (does the
+availability-profile machinery stay tractable?) and schedule quality (ESP
+efficiency: ideal work time over actual makespan).
+"""
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.maui.config import MauiConfig
+from repro.metrics.report import render_table
+from repro.system import BatchSystem
+from repro.workloads.esp import ESP_JOB_TYPES, esp_core_count, make_esp_workload
+
+SIZES = [8, 15, 32, 64]  # nodes of 8 cores
+_rows: dict[int, list] = {}
+
+
+def run_at_scale(nodes: int) -> BatchSystem:
+    system = BatchSystem(
+        nodes, 8, MauiConfig(reservation_depth=5, reservation_delay_depth=5)
+    )
+    make_esp_workload(nodes * 8, dynamic=True, seed=2014).submit_to(system)
+    system.run(max_events=5_000_000)
+    return system
+
+
+def ideal_work_seconds(total_cores: int) -> float:
+    """Sum of cores x SET over the workload (the ESP 'ideal time' numerator)."""
+    return sum(
+        esp_core_count(t.fraction, total_cores) * t.static_execution_time * t.count
+        for t in ESP_JOB_TYPES
+    )
+
+
+@pytest.mark.benchmark(group="scaling")
+@pytest.mark.parametrize("nodes", SIZES)
+def test_esp_at_machine_scale(benchmark, nodes):
+    system = benchmark.pedantic(run_at_scale, args=(nodes,), rounds=1, iterations=1)
+    m = system.metrics()
+    assert m.completed_jobs == 230
+    total_cores = nodes * 8
+    efficiency = ideal_work_seconds(total_cores) / (total_cores * m.workload_time)
+    _rows[nodes] = [
+        f"{nodes}x8",
+        f"{m.workload_time_minutes:.1f}",
+        m.satisfied_dyn_jobs,
+        f"{100 * m.utilization:.1f}",
+        f"{100 * efficiency:.1f}",
+        system.scheduler.stats["iterations"],
+    ]
+    if len(_rows) == len(SIZES):
+        register_report(
+            "Scaling — dynamic ESP (Dyn-HP) vs machine size",
+            render_table(
+                ["Machine", "Time[min]", "Satisfied", "Util[%]", "ESP efficiency[%]", "Iterations"],
+                [_rows[n] for n in SIZES],
+            )
+            + "\n  note: the workload is defined in machine fractions, so job"
+            "\n  sizes grow with the machine; the submission protocol (30s"
+            "\n  spacing) increasingly dominates the makespan at larger scales.",
+        )

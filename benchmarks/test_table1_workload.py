@@ -1,0 +1,28 @@
+"""Table I — dynamic ESP workload generation.
+
+Benchmarks the workload generator and prints the reproduced Table I (paper
+values next to the model-derived core counts and DETs).
+"""
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.experiments.table1 import render_table1, table1_rows
+from repro.workloads.esp import make_esp_workload
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_workload_generation(benchmark):
+    workload = benchmark(make_esp_workload, 120, dynamic=True, seed=2014)
+    assert workload.total_jobs == 230
+    assert workload.evolving_jobs == 69
+    register_report("Table I — dynamic ESP job mix", render_table1(120))
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_row_derivation(benchmark):
+    rows = benchmark(table1_rows, 120)
+    evolving = [r for r in rows if r["paper_det_s"] is not None]
+    assert len(evolving) == 5
+    for row in evolving:
+        assert abs(row["model_det_s"] - row["paper_det_s"]) / row["paper_det_s"] < 0.02

@@ -1,0 +1,49 @@
+"""Table II — the four evaluation configurations over the dynamic ESP workload.
+
+One benchmark per configuration (full 230-job simulation each); the summary
+prints the reproduced Table II next to the paper's reference values and
+asserts the qualitative orderings the paper reports.
+"""
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.experiments.configs import all_configurations
+from repro.experiments.runner import run_esp_configuration
+from repro.experiments.table2 import render_table2, run_table2
+
+CONFIGS = {c.name: c for c in all_configurations()}
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("name", list(CONFIGS))
+def test_table2_configuration(benchmark, name):
+    result = benchmark.pedantic(
+        run_esp_configuration, args=(CONFIGS[name],), rounds=3, iterations=1
+    )
+    m = result.metrics
+    assert m.completed_jobs == 230
+    ref = CONFIGS[name].paper_reference
+    # shape check per row: utilization within a few points of the paper
+    assert abs(100 * m.utilization - ref["util_pct"]) < 8.0
+    benchmark.extra_info.update(
+        time_min=round(m.workload_time_minutes, 2),
+        satisfied=m.satisfied_dyn_jobs,
+        util_pct=round(100 * m.utilization, 2),
+    )
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_full_campaign(benchmark):
+    results = benchmark.pedantic(run_table2, kwargs={"seed": 2014}, rounds=1, iterations=1)
+    by_name = {r.name: r.metrics for r in results}
+    # the paper's qualitative orderings
+    assert by_name["Dyn-HP"].workload_time < by_name["Static"].workload_time
+    assert by_name["Static"].utilization < by_name["Dyn-500"].utilization
+    assert by_name["Dyn-500"].utilization <= by_name["Dyn-600"].utilization
+    assert by_name["Dyn-600"].utilization <= by_name["Dyn-HP"].utilization
+    assert by_name["Dyn-HP"].satisfied_dyn_jobs == 43  # paper: 43/69
+    register_report(
+        "Table II — performance comparison of the evaluation configurations",
+        render_table2(results),
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The paper's approach vs the two alternatives it argues against.
+
+* **Guaranteeing** (CooRMv2-style, Section II-B): preallocate every evolving
+  job's maximum need — grants always succeed, but the extra cores idle until
+  the trigger point and rigid jobs queue behind inflated allocations.
+* **SLURM-style** (Section V): expand by submitting a dependent helper job —
+  requests wait in the static queue under static fairshare, arriving late or
+  never.
+* **This paper (Dyn-HP / Dyn-600)**: on-the-fly allocation with dynamic
+  fairness.
+
+Run with::
+
+    python examples/baselines_comparison.py
+"""
+
+from repro.baselines import run_guaranteeing_esp, run_slurm_esp
+from repro.experiments.runner import run_esp_configuration_cached
+from repro.metrics.report import render_table
+
+
+def main() -> None:
+    rows = []
+
+    static = run_esp_configuration_cached("Static")
+    dyn_hp = run_esp_configuration_cached("Dyn-HP")
+    dyn_600 = run_esp_configuration_cached("Dyn-600")
+    slurm = run_slurm_esp()
+    guaranteed = run_guaranteeing_esp()
+
+    def row(name, m, satisfied, note=""):
+        rows.append(
+            [
+                name,
+                f"{m.workload_time_minutes:.1f}",
+                satisfied,
+                f"{100 * m.utilization:.1f}",
+                f"{m.mean_wait:.0f}",
+                note,
+            ]
+        )
+
+    row("Static", static.metrics, 0)
+    row("Dyn-HP (paper)", dyn_hp.metrics, dyn_hp.metrics.satisfied_dyn_jobs)
+    row("Dyn-600 (paper)", dyn_600.metrics, dyn_600.metrics.satisfied_dyn_jobs)
+    row(
+        "SLURM-style",
+        slurm,
+        slurm.satisfied_dyn_jobs,
+        "expansions via helper jobs in the static queue",
+    )
+    row(
+        "Guaranteeing",
+        guaranteed.metrics,
+        69,
+        f"{guaranteed.wasted_reserved_core_seconds / 3600:.0f} core-h reserved idle",
+    )
+
+    print(
+        render_table(
+            ["Approach", "Time[min]", "Satisfied", "Util[%]", "Mean wait[s]", "Notes"],
+            rows,
+            title="Dynamic ESP, 15x8 cores: scheduling approaches compared",
+        )
+    )
+    print(
+        "\nThe guaranteeing run charges evolving users for cores that idle until\n"
+        "the 16% trigger and pushes rigid jobs' waits up; the SLURM-style run\n"
+        "satisfies expansions only when the static queue happens to drain.\n"
+        "(Paper Sections II-B and V.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

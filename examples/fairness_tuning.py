@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Tuning the dynamic fairness knobs (paper Section III-D, Fig. 6).
+
+Two parts:
+
+1. parse the paper's Fig. 6 configuration file verbatim and show what each
+   line means for each principal;
+2. sweep ``DFSTargetDelayTime`` over the dynamic ESP workload to expose the
+   grants-vs-fairness trade-off the paper tunes with Dyn-500/Dyn-600.
+
+Run with::
+
+    python examples/fairness_tuning.py
+"""
+
+from repro.experiments.configs import dynamic_target_config, ESPConfiguration
+from repro.experiments.runner import run_esp_configuration
+from repro.maui.config import MauiConfig, parse_maui_config
+from repro.metrics.report import render_table
+from repro.units import UNLIMITED, format_duration
+
+# Fig. 6 of the paper, verbatim.
+FIG6_CONFIG = r"""
+DFSPOLICY          DFSSINGLEANDTARGETDELAY
+DFSINTERVAL        06:00:00
+DFSDECAY           0.4
+USERCFG[user01]    DFSDYNDELAYPERM=1 DFSTARGETDELAYTIME=3600 \
+                   DFSSINGLEDELAYTIME=0
+USERCFG[user02]    DFSDYNDELAYPERM=0
+USERCFG[user03]    DFSDYNDELAYPERM=1 DFSTARGETDELAYTIME=0 \
+                   DFSSINGLEDELAYTIME=00:30:00
+USERCFG[user04]    DFSDYNDELAYPERM=1 DFSTARGETDELAYTIME=02:00:00 \
+                   DFSSINGLEDELAYTIME=00:15:00
+GROUPCFG[group05]  DFSTARGETDELAYTIME=04:00:00
+GROUPCFG[group06]  DFSDYNDELAYPERM=0
+"""
+
+
+def describe_fig6() -> None:
+    config = parse_maui_config(FIG6_CONFIG, MauiConfig())
+    dfs = config.dfs
+    print(f"Policy {dfs.policy.value}, interval {format_duration(dfs.interval)}, "
+          f"decay {dfs.decay}\n")
+    rows = []
+    for kind, table in (("user", dfs.users), ("group", dfs.groups)):
+        for name, lim in table.items():
+            rows.append(
+                [
+                    kind,
+                    name,
+                    "yes" if lim.dyn_delay_perm else "NO",
+                    "unlimited" if lim.target_delay_time == UNLIMITED
+                    else format_duration(lim.target_delay_time),
+                    "unlimited" if lim.single_delay_time == UNLIMITED
+                    else format_duration(lim.single_delay_time),
+                ]
+            )
+    print(
+        render_table(
+            ["Kind", "Principal", "Delayable", "Cumulative cap/interval", "Per-job cap"],
+            rows,
+            title="Fig. 6 configuration, parsed",
+        )
+    )
+
+
+def sweep_target_delay() -> None:
+    print("\nSweep: cumulative per-user delay cap (DFSTargetDelayTime, 1 h interval)\n")
+    rows = []
+    for cap in (0.0, 100.0, 300.0, 500.0, 600.0, 1200.0, 3600.0):
+        if cap == 0.0:
+            maui = MauiConfig(reservation_depth=5, reservation_delay_depth=5)
+            label = "NONE (Dyn-HP)"
+        else:
+            maui = dynamic_target_config(cap)
+            label = f"{cap:.0f}s"
+        config = ESPConfiguration(name=label, maui=maui, dynamic_workload=True)
+        result = run_esp_configuration(config)
+        m = result.metrics
+        rows.append(
+            [
+                label,
+                m.satisfied_dyn_jobs,
+                result.scheduler_stats["dyn_rejected_fairness"],
+                f"{m.workload_time_minutes:.1f}",
+                f"{100 * m.utilization:.1f}",
+                f"{m.mean_wait:.0f}",
+            ]
+        )
+    print(
+        render_table(
+            ["Cap", "Satisfied", "Fairness rejects", "Time[min]", "Util[%]", "Mean wait[s]"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    describe_fig6()
+    sweep_target_delay()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Application models.
+
+Applications interact with the batch system exclusively through the TM
+interface (:class:`repro.rms.tm.TMContext`) — requesting resources with
+``tm_dynget``, releasing them with ``tm_dynfree`` and reporting completion —
+exactly like real MPI applications under the paper's extended Torque.
+"""
+
+from repro.apps.amr import AMRApp
+from repro.apps.quadflow import (
+    CYLINDER,
+    FLAT_PLATE,
+    QuadflowApp,
+    QuadflowCase,
+    QuadflowPhase,
+)
+from repro.apps.weather import Phenomenon, WeatherApp
+from repro.apps.synthetic import (
+    EvolvingWorkApp,
+    FixedRuntimeApp,
+    MalleableWorkApp,
+    MoldableWorkApp,
+)
+
+__all__ = [
+    "AMRApp",
+    "CYLINDER",
+    "EvolvingWorkApp",
+    "FLAT_PLATE",
+    "FixedRuntimeApp",
+    "MalleableWorkApp",
+    "MoldableWorkApp",
+    "Phenomenon",
+    "WeatherApp",
+    "QuadflowApp",
+    "QuadflowCase",
+    "QuadflowPhase",
+]

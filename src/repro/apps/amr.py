@@ -1,0 +1,135 @@
+"""A generic adaptive-mesh-refinement application model.
+
+The paper motivates evolving jobs with AMR codes whose grids grow
+unpredictably (Section II-A).  :class:`AMRApp` models that class directly:
+a seeded random walk over refinement factors, a per-process cell threshold
+that triggers ``tm_dynget``, and an optional per-node memory limit — if the
+cells-per-node count exceeds the memory capacity and no grant arrives, the
+job *aborts*, reproducing the "job abortion" risk the introduction describes
+for under-allocated evolving applications.
+
+This app is used by the extension examples and the failure-injection tests;
+the ESP reproduction itself uses the deterministic
+:class:`~repro.apps.synthetic.EvolvingWorkApp`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.rms.tm import TMContext
+
+__all__ = ["AMRApp"]
+
+
+class AMRApp:
+    """Stochastic AMR solver with threshold-triggered dynamic requests.
+
+    :param initial_cells: grid size of the first phase.
+    :param num_adaptations: grid adaptations to perform.
+    :param growth_low/growth_high: per-adaptation multiplicative growth is
+        drawn uniformly from this range (growth < 1 coarsens the grid).
+    :param seconds_per_cell: work per cell per phase at speed 1; phase time
+        is ``cells * seconds_per_cell / cores``.
+    :param threshold_cells_per_proc: request extra resources beyond this.
+    :param cells_per_proc_limit: hard memory limit; exceeding it without a
+        grant aborts the job (None disables).
+    :param extra_cores: size of each dynamic request.
+    :param seed: RNG seed — runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        *,
+        initial_cells: int = 50_000,
+        num_adaptations: int = 4,
+        growth_low: float = 1.0,
+        growth_high: float = 2.2,
+        seconds_per_cell: float = 0.01,
+        threshold_cells_per_proc: int = 10_000,
+        cells_per_proc_limit: int | None = None,
+        extra_cores: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if initial_cells <= 0 or num_adaptations < 0:
+            raise ValueError("invalid AMR parameters")
+        if growth_low > growth_high or growth_low <= 0:
+            raise ValueError("invalid growth range")
+        self.initial_cells = initial_cells
+        self.num_adaptations = num_adaptations
+        self.growth_low = growth_low
+        self.growth_high = growth_high
+        self.seconds_per_cell = seconds_per_cell
+        self.threshold_cells_per_proc = threshold_cells_per_proc
+        self.cells_per_proc_limit = cells_per_proc_limit
+        self.extra_cores = extra_cores
+        self.seed = seed
+        self._ctx: TMContext | None = None
+        self._cells = 0
+        self._phase = 0
+        self._rng: np.random.Generator | None = None
+
+    def launch(self, ctx: TMContext) -> None:
+        self._ctx = ctx
+        self._rng = np.random.default_rng(self.seed)
+        self._cells = self.initial_cells
+        self._phase = 0
+        ctx.job.metadata["amr_cells"] = [self.initial_cells]
+        self._begin_phase()
+
+    # ------------------------------------------------------------------
+    def _cells_per_proc(self) -> float:
+        assert self._ctx is not None
+        return self._cells / self._ctx.cores
+
+    def _begin_phase(self) -> None:
+        assert self._ctx is not None
+        if (
+            self._cells_per_proc() > self.threshold_cells_per_proc
+            and self._ctx.job.evolution is not None
+        ):
+            self._ctx.tm_dynget(
+                ResourceRequest(cores=self.extra_cores), self._on_answer
+            )
+            return
+        if not self._check_memory():
+            return
+        self._run_phase()
+
+    def _on_answer(self, grant: Allocation | None) -> None:
+        # granted or not, the solver continues — unless memory is blown
+        if not self._check_memory():
+            return
+        self._run_phase()
+
+    def _check_memory(self) -> bool:
+        """Abort (walltime exhaustion surrogate: immediate out-of-memory)."""
+        assert self._ctx is not None
+        if (
+            self.cells_per_proc_limit is not None
+            and self._cells_per_proc() > self.cells_per_proc_limit
+        ):
+            self._ctx.job.metadata["abort_reason"] = "out_of_memory"
+            self._ctx._server.abort_job(self._ctx.job, "out_of_memory")
+            return False
+        return True
+
+    def _run_phase(self) -> None:
+        assert self._ctx is not None
+        duration = self._cells * self.seconds_per_cell / self._ctx.cores
+        self._ctx.after(duration, self._end_phase)
+
+    def _end_phase(self) -> None:
+        assert self._ctx is not None and self._rng is not None
+        self._phase += 1
+        if self._phase > self.num_adaptations:
+            self._ctx.finish()
+            return
+        growth = float(self._rng.uniform(self.growth_low, self.growth_high))
+        self._cells = max(1, int(self._cells * growth))
+        self._ctx.job.metadata["amr_cells"].append(self._cells)
+        self._begin_phase()
+
+    def __repr__(self) -> str:
+        return f"<AMRApp cells={self._cells} phase={self._phase}/{self.num_adaptations}>"

@@ -1,0 +1,221 @@
+"""Phase-based model of the Quadflow adaptive CFD solver (paper Sections II-A, IV-A).
+
+Quadflow refines its computational grid after every adaptation phase; the
+cell count — and with it the computational load — can grow sharply and
+unpredictably.  The paper instruments two generic test cases:
+
+* **FlatPlate** — laminar boundary layer at Mach 2.6; 2 adaptations; dynamic
+  request threshold 3 000 cells/process; dynamic run 17 % faster than the
+  16-core static run (≈3 h saved).
+* **Cylinder** — supersonic flow at Mach 5.28; 5 adaptations; threshold
+  15 000 cells/process; dynamic run 33 % faster (≈10 h saved).
+
+Model
+-----
+Each phase carries a cell count and a nominal duration on the base
+allocation.  The effective speed on ``c`` cores is ``min(c, cells/γ)`` where
+``γ`` is the cells-per-process threshold: below the threshold there is too
+little work per process for extra cores to help, which reproduces the
+paper's observation that *"the time taken until the final grid adaptation
+level is identical when executed with 16 or 32 cores"*.  Above the threshold
+scaling is linear, so doubling the allocation halves the phase time.
+
+After each grid adaptation the application checks the next phase's
+cells-per-process ratio; if it exceeds the threshold it issues a single
+``tm_dynget`` for as many additional cores as it currently holds (16 → 32 in
+the paper's runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.rms.tm import TMContext
+from repro.units import hours
+
+__all__ = ["QuadflowPhase", "QuadflowCase", "QuadflowApp", "FLAT_PLATE", "CYLINDER"]
+
+
+@dataclass(frozen=True, slots=True)
+class QuadflowPhase:
+    """One computation phase between grid adaptations.
+
+    :param cells: grid cells during this phase (revealed by the preceding
+        adaptation — unpredictable a priori).
+    :param base_time: phase duration in seconds on ``base_cores`` cores.
+    """
+
+    cells: int
+    base_time: float
+
+    def __post_init__(self) -> None:
+        if self.cells <= 0 or self.base_time <= 0:
+            raise ValueError(f"invalid phase: {self}")
+
+
+@dataclass(frozen=True)
+class QuadflowCase:
+    """A Quadflow test case: phase sequence plus the dynget threshold."""
+
+    name: str
+    phases: tuple[QuadflowPhase, ...]
+    threshold_cells_per_proc: int
+    base_cores: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a case needs at least one phase")
+        if self.threshold_cells_per_proc <= 0 or self.base_cores <= 0:
+            raise ValueError("threshold and base_cores must be positive")
+
+    def speed(self, cells: int, cores: int) -> float:
+        """Effective parallel speed: linear until work-starved."""
+        return min(float(cores), cells / float(self.threshold_cells_per_proc))
+
+    def phase_time(self, index: int, cores: int) -> float:
+        """Duration of phase ``index`` when run on ``cores`` cores."""
+        phase = self.phases[index]
+        return phase.base_time * self.speed(phase.cells, self.base_cores) / self.speed(
+            phase.cells, cores
+        )
+
+    def total_time(self, cores: int) -> float:
+        """Static execution time on a fixed allocation of ``cores``."""
+        return sum(self.phase_time(i, cores) for i in range(len(self.phases)))
+
+    def dynamic_schedule(self, expanded_cores: int) -> tuple[list[float], int | None]:
+        """Phase times when expanding at the first threshold-exceeding phase.
+
+        Returns ``(per-phase durations, index of first expanded phase)``;
+        the expansion index is None when no phase crosses the threshold.
+        """
+        times: list[float] = []
+        cores = self.base_cores
+        expanded_at: int | None = None
+        for i, phase in enumerate(self.phases):
+            if (
+                expanded_at is None
+                and phase.cells / cores > self.threshold_cells_per_proc
+            ):
+                cores = expanded_cores
+                expanded_at = i
+            times.append(self.phase_time(i, cores))
+        return times, expanded_at
+
+    @property
+    def adaptations(self) -> int:
+        """Number of grid adaptations (phase transitions)."""
+        return len(self.phases) - 1
+
+
+#: FlatPlate: 2 adaptations; the final phase exceeds 3 000 cells/process on
+#: 16 processes, a grant to 32 halves it — 3 h (17 %) total saving.
+FLAT_PLATE = QuadflowCase(
+    name="FlatPlate",
+    phases=(
+        QuadflowPhase(cells=20_000, base_time=hours(5.3)),
+        QuadflowPhase(cells=44_000, base_time=hours(6.3)),
+        QuadflowPhase(cells=100_000, base_time=hours(6.0)),
+    ),
+    threshold_cells_per_proc=3_000,
+)
+
+#: Cylinder: 5 adaptations; the bow-shock refinement makes the final phase
+#: dominate — halving it saves 10 h (33 %).
+CYLINDER = QuadflowCase(
+    name="Cylinder",
+    phases=(
+        QuadflowPhase(cells=60_000, base_time=hours(1.5)),
+        QuadflowPhase(cells=100_000, base_time=hours(2.0)),
+        QuadflowPhase(cells=140_000, base_time=hours(2.0)),
+        QuadflowPhase(cells=180_000, base_time=hours(2.2)),
+        QuadflowPhase(cells=230_000, base_time=hours(2.3)),
+        QuadflowPhase(cells=480_000, base_time=hours(20.0)),
+    ),
+    threshold_cells_per_proc=15_000,
+)
+
+
+class QuadflowApp:
+    """Runs a :class:`QuadflowCase` inside the batch system.
+
+    When ``dynamic`` is true the application requests additional whole nodes
+    (doubling its core count) the first time a freshly adapted grid exceeds
+    the cells-per-process threshold; one retry is attempted at the next
+    adaptation if the request is rejected.
+
+    Per-phase wall-clock durations are recorded into
+    ``job.metadata["phase_times"]`` and the grant phase (if any) into
+    ``job.metadata["expanded_at_phase"]`` for the Fig. 7 harness.
+    """
+
+    def __init__(self, case: QuadflowCase, *, dynamic: bool = True, ppn: int = 8) -> None:
+        self.case = case
+        self.dynamic = dynamic
+        self.ppn = ppn
+        self._ctx: TMContext | None = None
+        self._phase = 0
+        self._phase_times: list[float] = []
+        self._expanded = False
+        self._request_pending = False
+
+    def launch(self, ctx: TMContext) -> None:
+        self._ctx = ctx
+        self._phase = 0
+        self._phase_times = []
+        self._expanded = False
+        self._request_pending = False
+        ctx.job.metadata["phase_times"] = self._phase_times
+        ctx.job.metadata["expanded_at_phase"] = None
+        self._begin_phase()
+
+    # ------------------------------------------------------------------
+    def _begin_phase(self) -> None:
+        assert self._ctx is not None
+        case = self.case
+        phase = case.phases[self._phase]
+        cores = self._ctx.cores
+        if (
+            self.dynamic
+            and not self._expanded
+            and not self._request_pending
+            and phase.cells / cores > case.threshold_cells_per_proc
+        ):
+            # grid adaptation produced too many cells per process: grow
+            extra_nodes = max(1, cores // self.ppn)
+            self._request_pending = True
+            self._ctx.tm_dynget(
+                ResourceRequest(nodes=extra_nodes, ppn=self.ppn), self._on_answer
+            )
+            return  # phase starts once the request is resolved
+        self._run_phase()
+
+    def _on_answer(self, grant: Allocation | None) -> None:
+        assert self._ctx is not None
+        self._request_pending = False
+        if grant is not None:
+            self._expanded = True
+            self._ctx.job.metadata["expanded_at_phase"] = self._phase
+        self._run_phase()
+
+    def _run_phase(self) -> None:
+        assert self._ctx is not None
+        duration = (
+            self.case.phases[self._phase].base_time
+            * self.case.speed(self.case.phases[self._phase].cells, self.case.base_cores)
+            / self.case.speed(self.case.phases[self._phase].cells, self._ctx.cores)
+        )
+        self._phase_times.append(duration)
+        self._ctx.after(duration, self._end_phase)
+
+    def _end_phase(self) -> None:
+        assert self._ctx is not None
+        self._phase += 1
+        if self._phase >= len(self.case.phases):
+            self._ctx.finish()
+            return
+        self._begin_phase()
+
+    def __repr__(self) -> str:
+        return f"<QuadflowApp {self.case.name} phase={self._phase} dynamic={self.dynamic}>"

@@ -1,0 +1,146 @@
+"""Nested weather-simulation model (paper Section I, ref. [5]).
+
+The introduction motivates dynamic allocation with "weather simulations that
+require simultaneous execution of nested simulations to track multiple
+weather phenomena": when a storm appears, a nested high-resolution
+simulation must run *alongside* the main forecast without stealing its
+resources; when the storm dissipates, those resources should return to the
+pool.
+
+:class:`WeatherApp` models exactly that lifecycle — the only application in
+this repository that repeatedly grows *and* shrinks within one run:
+
+* the main forecast runs for a fixed duration on its static allocation;
+* phenomena appear at seeded random times and last random durations;
+* each appearance issues ``tm_dynget`` for a nest-sized allocation (the
+  forecast continues regardless of the outcome — a missed nest degrades
+  forecast quality, recorded per phenomenon);
+* each dissipation returns the nest's cores with ``tm_dynfree``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.rms.tm import TMContext
+
+__all__ = ["Phenomenon", "WeatherApp"]
+
+
+@dataclass
+class Phenomenon:
+    """One tracked weather event and the outcome of its nest request."""
+
+    index: int
+    appears_at: float
+    duration: float
+    cores: int
+    tracked: bool = False
+    #: node -> cores actually granted for the nest
+    nest: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def dissipates_at(self) -> float:
+        return self.appears_at + self.duration
+
+
+class WeatherApp:
+    """Main forecast plus dynamically allocated nested simulations."""
+
+    def __init__(
+        self,
+        runtime: float,
+        *,
+        num_phenomena: int = 3,
+        nest_cores: int = 4,
+        phenomenon_duration: tuple[float, float] = (300.0, 900.0),
+        seed: int = 0,
+    ) -> None:
+        if runtime <= 0:
+            raise ValueError(f"runtime must be positive: {runtime}")
+        if num_phenomena < 0 or nest_cores <= 0:
+            raise ValueError("invalid phenomena parameters")
+        self.runtime = runtime
+        self.num_phenomena = num_phenomena
+        self.nest_cores = nest_cores
+        self.phenomenon_duration = phenomenon_duration
+        self.seed = seed
+        self.phenomena: list[Phenomenon] = []
+        self._ctx: TMContext | None = None
+        self._pending: Phenomenon | None = None
+
+    # ------------------------------------------------------------------
+    def launch(self, ctx: TMContext) -> None:
+        self._ctx = ctx
+        self._pending = None
+        rng = np.random.default_rng(self.seed)
+        self.phenomena = []
+        lo, hi = self.phenomenon_duration
+        for i in range(self.num_phenomena):
+            appears = float(rng.uniform(0.05, 0.7) * self.runtime)
+            duration = float(rng.uniform(lo, hi))
+            self.phenomena.append(
+                Phenomenon(
+                    index=i, appears_at=appears, duration=duration, cores=self.nest_cores
+                )
+            )
+        ctx.job.metadata["phenomena"] = self.phenomena
+        for phenomenon in self.phenomena:
+            ctx.after(phenomenon.appears_at, self._on_appearance, phenomenon)
+        ctx.after(self.runtime, self._finish)
+
+    # ------------------------------------------------------------------
+    def _on_appearance(self, phenomenon: Phenomenon) -> None:
+        assert self._ctx is not None
+        if not self._ctx.job.is_active:
+            return
+        if self._pending is not None:
+            # one request in flight at a time (TM protocol); an overlapping
+            # appearance goes untracked, like a saturated forecast system
+            return
+        self._pending = phenomenon
+        self._ctx.tm_dynget(
+            ResourceRequest(cores=phenomenon.cores),
+            lambda grant: self._on_answer(phenomenon, grant),
+        )
+
+    def _on_answer(self, phenomenon: Phenomenon, grant: Allocation | None) -> None:
+        assert self._ctx is not None
+        self._pending = None
+        if grant is None:
+            return  # phenomenon tracked at coarse resolution only
+        phenomenon.tracked = True
+        phenomenon.nest = dict(grant.items())
+        # release when the phenomenon dissipates; if that falls after the
+        # forecast ends, job teardown returns the nest with everything else
+        release_in = max(0.0, phenomenon.dissipates_at - self._elapsed())
+        self._ctx.after(release_in, self._on_dissipation, phenomenon)
+
+    def _elapsed(self) -> float:
+        assert self._ctx is not None
+        assert self._ctx.job.start_time is not None
+        return self._ctx.now - self._ctx.job.start_time
+
+    def _on_dissipation(self, phenomenon: Phenomenon) -> None:
+        assert self._ctx is not None
+        if not self._ctx.job.is_active or not phenomenon.nest:
+            return
+        self._ctx.tm_dynfree(phenomenon.nest)
+        phenomenon.nest = {}
+
+    def _finish(self) -> None:
+        assert self._ctx is not None
+        self._ctx.finish()
+
+    @property
+    def tracked_count(self) -> int:
+        return sum(1 for p in self.phenomena if p.tracked)
+
+    def __repr__(self) -> str:
+        return (
+            f"<WeatherApp {self.runtime:.0f}s "
+            f"{self.tracked_count}/{len(self.phenomena)} tracked>"
+        )

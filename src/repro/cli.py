@@ -1,0 +1,172 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    repro-batchsim table1
+    repro-batchsim table2 [--seed N]
+    repro-batchsim fig7 | fig8 | fig9 | fig10 | fig11 | fig12
+    repro-batchsim all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args) -> str:
+    from repro.experiments.table1 import render_table1
+
+    return render_table1(total_cores=args.cores)
+
+
+def _cmd_table2(args) -> str:
+    from repro.experiments.table2 import render_table2
+
+    return render_table2(seed=args.seed)
+
+
+def _cmd_fig7(args) -> str:
+    from repro.experiments.fig7 import render_fig7
+
+    return render_fig7()
+
+
+def _cmd_fig8(args) -> str:
+    from repro.experiments.fig8 import render_fig8
+
+    return render_fig8(seed=args.seed)
+
+
+def _cmd_fig9(args) -> str:
+    from repro.experiments.fig9 import render_fig9
+
+    return render_fig9(seed=args.seed)
+
+
+def _cmd_fig10(args) -> str:
+    from repro.experiments.fig10 import render_fig10
+
+    return render_fig10(seed=args.seed)
+
+
+def _cmd_fig11(args) -> str:
+    from repro.experiments.fig11 import render_fig11
+
+    return render_fig11(seed=args.seed)
+
+
+def _cmd_fig12(args) -> str:
+    from repro.experiments.fig12 import render_fig12
+
+    return render_fig12()
+
+
+def _cmd_baselines(args) -> str:
+    from repro.baselines import run_guaranteeing_esp, run_slurm_esp
+    from repro.experiments.runner import run_esp_configuration_cached
+    from repro.metrics.report import render_table
+
+    static = run_esp_configuration_cached("Static", seed=args.seed).metrics
+    dyn_hp = run_esp_configuration_cached("Dyn-HP", seed=args.seed).metrics
+    slurm = run_slurm_esp(seed=args.seed)
+    guaranteed = run_guaranteeing_esp(seed=args.seed)
+    rows = [
+        ["Static", f"{static.workload_time_minutes:.1f}", 0, f"{static.mean_wait:.0f}", ""],
+        ["Dyn-HP (paper)", f"{dyn_hp.workload_time_minutes:.1f}",
+         dyn_hp.satisfied_dyn_jobs, f"{dyn_hp.mean_wait:.0f}", ""],
+        ["SLURM-style", f"{slurm.workload_time_minutes:.1f}",
+         slurm.satisfied_dyn_jobs, f"{slurm.mean_wait:.0f}",
+         "helper jobs in static queue"],
+        ["Guaranteeing", f"{guaranteed.metrics.workload_time_minutes:.1f}", 69,
+         f"{guaranteed.metrics.mean_wait:.0f}",
+         f"{guaranteed.wasted_reserved_core_seconds / 3600:.0f} core-h reserved idle"],
+    ]
+    return render_table(
+        ["Approach", "Time[min]", "Satisfied", "Mean wait[s]", "Notes"],
+        rows,
+        title="Baselines — approaches to evolving-job support (Sections II-B, V)",
+    )
+
+
+def _cmd_export(args) -> str:
+    from repro.experiments.export import export_json
+
+    return export_json(seed=args.seed)
+
+
+def _cmd_sweep(args) -> str:
+    from repro.experiments.sweep import render_sweep, run_seed_sweep
+
+    return render_sweep(run_seed_sweep())
+
+
+def _cmd_gantt(args) -> str:
+    from repro.maui.config import MauiConfig
+    from repro.metrics.gantt import render_gantt
+    from repro.system import BatchSystem
+    from repro.workloads.esp import make_esp_workload
+
+    system = BatchSystem(
+        15, 8, MauiConfig(reservation_depth=5, reservation_delay_depth=5)
+    )
+    make_esp_workload(120, dynamic=True, seed=args.seed).submit_to(system)
+    system.run(max_events=5_000_000)
+    return (
+        "Dynamic ESP schedule (Dyn-HP), one row per node:\n"
+        + render_gantt(system.trace, system.cluster, width=100)
+    )
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12,
+    "baselines": _cmd_baselines,
+    "gantt": _cmd_gantt,
+    "sweep": _cmd_sweep,
+    "export": _cmd_export,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-batchsim",
+        description=(
+            "Reproduce the tables and figures of 'A Batch System with Fair "
+            "Scheduling for Evolving Applications' (ICPP 2014)."
+        ),
+    )
+    parser.add_argument(
+        "artifact",
+        choices=[*_COMMANDS, "all"],
+        help="which table/figure to regenerate ('all' prints everything)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2014, help="workload-order seed (default 2014)"
+    )
+    parser.add_argument(
+        "--cores", type=int, default=120, help="machine size in cores (default 120)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(_COMMANDS) if args.artifact == "all" else [args.artifact]
+    for i, name in enumerate(names):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        print(_COMMANDS[name](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

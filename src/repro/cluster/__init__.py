@@ -1,0 +1,23 @@
+"""Cluster hardware model: nodes, core-level allocations, availability.
+
+The paper's testbed is 15 compute nodes with 8 cores each (plus a separate
+head node running the server and scheduler, which we model implicitly).  The
+simulator tracks allocations at core granularity per node so both
+core-fraction jobs (ESP) and whole-node requests (Quadflow, Fig. 12) are
+represented exactly.
+"""
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.machine import Cluster
+from repro.cluster.node import Node, NodeState
+from repro.cluster.profile import AvailabilityProfile, NoFitError
+
+__all__ = [
+    "Allocation",
+    "AvailabilityProfile",
+    "Cluster",
+    "NoFitError",
+    "Node",
+    "NodeState",
+    "ResourceRequest",
+]

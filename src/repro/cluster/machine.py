@@ -1,0 +1,177 @@
+"""The cluster: a collection of nodes plus present-time allocation bookkeeping.
+
+The :class:`Cluster` answers "what is free *right now*" and enforces the
+no-oversubscription invariant.  Future availability (for reservations and
+backfill) is handled by :class:`repro.cluster.profile.AvailabilityProfile`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.node import Node, NodeState
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A set of compute nodes with core-level allocation tracking."""
+
+    def __init__(self, nodes: Sequence[Node]) -> None:
+        if not nodes:
+            raise ValueError("cluster needs at least one node")
+        indices = [n.index for n in nodes]
+        if len(set(indices)) != len(indices):
+            raise ValueError("duplicate node indices")
+        self.nodes: list[Node] = sorted(nodes, key=lambda n: n.index)
+        self._by_index = {n.index: n for n in self.nodes}
+
+    @classmethod
+    def homogeneous(
+        cls, num_nodes: int, cores_per_node: int, *, dynamic_partition_nodes: int = 0
+    ) -> "Cluster":
+        """Build the usual homogeneous cluster.
+
+        ``dynamic_partition_nodes`` moves the highest-indexed N nodes into
+        the "dynamic" partition, which the scheduler may reserve for serving
+        dynamic requests (Section II-B option 2).
+        """
+        if num_nodes <= 0 or cores_per_node <= 0:
+            raise ValueError("num_nodes and cores_per_node must be positive")
+        if not 0 <= dynamic_partition_nodes <= num_nodes:
+            raise ValueError("dynamic_partition_nodes out of range")
+        nodes = []
+        for i in range(num_nodes):
+            partition = (
+                "dynamic" if i >= num_nodes - dynamic_partition_nodes else "batch"
+            )
+            nodes.append(Node(index=i, cores=cores_per_node, partition=partition))
+        return cls(nodes)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def node(self, index: int) -> Node:
+        return self._by_index[index]
+
+    @property
+    def total_cores(self) -> int:
+        """Installed cores over all nodes regardless of state."""
+        return sum(n.cores for n in self.nodes)
+
+    @property
+    def up_cores(self) -> int:
+        """Cores on nodes currently UP."""
+        return sum(n.cores for n in self.nodes if n.state is NodeState.UP)
+
+    @property
+    def used_cores(self) -> int:
+        return sum(n.used for n in self.nodes)
+
+    @property
+    def free_cores(self) -> int:
+        return sum(n.free for n in self.nodes)
+
+    def free_by_node(self, *, partitions: Iterable[str] | None = None) -> dict[int, int]:
+        """Free cores per UP node, optionally restricted to partitions."""
+        wanted = set(partitions) if partitions is not None else None
+        return {
+            n.index: n.free
+            for n in self.nodes
+            if n.state is NodeState.UP and (wanted is None or n.partition in wanted)
+        }
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def find_allocation(
+        self,
+        request: ResourceRequest,
+        *,
+        partitions: Iterable[str] | None = None,
+        exclude_nodes: Iterable[int] = (),
+    ) -> Allocation | None:
+        """Find a concrete allocation satisfying ``request`` from free cores.
+
+        Returns ``None`` when the request does not fit right now.  Placement
+        policy: pack shaped requests on the emptiest eligible nodes; fill
+        flexible requests from the *most*-loaded eligible nodes first so idle
+        nodes stay whole for shaped requests (a standard anti-fragmentation
+        heuristic).
+        """
+        free = self.free_by_node(partitions=partitions)
+        for idx in exclude_nodes:
+            free.pop(idx, None)
+        if request.is_shaped:
+            candidates = sorted(
+                (idx for idx, f in free.items() if f >= request.ppn),
+                key=lambda idx: (-free[idx], idx),
+            )
+            if len(candidates) < request.nodes:
+                return None
+            chosen = sorted(candidates[: request.nodes])
+            return Allocation({idx: request.ppn for idx in chosen})
+        if sum(free.values()) < request.cores:
+            return None
+        remaining = request.cores
+        picks: dict[int, int] = {}
+        for idx in sorted(free, key=lambda i: (free[i], i)):
+            if free[idx] <= 0:
+                continue
+            take = min(free[idx], remaining)
+            picks[idx] = take
+            remaining -= take
+            if remaining == 0:
+                break
+        assert remaining == 0
+        return Allocation(picks)
+
+    def claim(self, allocation: Allocation) -> None:
+        """Mark the allocation's cores as used.
+
+        Raises ``ValueError`` (leaving the cluster unchanged) if any node
+        would be oversubscribed or is not UP.
+        """
+        for idx, count in allocation.items():
+            node = self._by_index.get(idx)
+            if node is None:
+                raise ValueError(f"unknown node index {idx}")
+            if node.state is not NodeState.UP:
+                raise ValueError(f"{node.name} is {node.state.value}, cannot allocate")
+            if node.free < count:
+                raise ValueError(
+                    f"{node.name} oversubscribed: {count} requested, {node.free} free"
+                )
+        for idx, count in allocation.items():
+            self._by_index[idx].used += count
+
+    def release(self, allocation: Allocation) -> None:
+        """Return the allocation's cores to the free pool."""
+        for idx, count in allocation.items():
+            node = self._by_index.get(idx)
+            if node is None:
+                raise ValueError(f"unknown node index {idx}")
+            if node.used < count:
+                raise ValueError(
+                    f"{node.name} releasing {count} cores but only {node.used} used"
+                )
+        for idx, count in allocation.items():
+            self._by_index[idx].used -= count
+
+    # ------------------------------------------------------------------
+    # failures (extension used by fault-tolerance tests/examples)
+    # ------------------------------------------------------------------
+    def fail_node(self, index: int) -> None:
+        """Mark a node DOWN.  Caller is responsible for re-queueing jobs."""
+        self._by_index[index].state = NodeState.DOWN
+
+    def recover_node(self, index: int) -> None:
+        node = self._by_index[index]
+        node.state = NodeState.UP
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cluster {len(self.nodes)} nodes, "
+            f"{self.used_cores}/{self.total_cores} cores used>"
+        )

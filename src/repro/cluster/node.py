@@ -1,0 +1,58 @@
+"""Compute node model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NodeState(enum.Enum):
+    """Operational state of a compute node."""
+
+    UP = "up"
+    DOWN = "down"
+    #: Drained nodes finish their current jobs but accept no new work
+    #: (used by the failure-injection tests and the spare-partition option).
+    DRAINED = "drained"
+
+
+@dataclass
+class Node:
+    """A compute node with a fixed number of cores.
+
+    ``used`` tracks the number of cores currently allocated to running jobs;
+    it is maintained by :class:`repro.cluster.machine.Cluster` and must never
+    exceed ``cores``.
+    """
+
+    index: int
+    cores: int
+    state: NodeState = NodeState.UP
+    used: int = field(default=0)
+    #: Optional partition label ("batch" by default; the dynamic-partition
+    #: option places some nodes in a "dynamic" partition reserved for
+    #: evolving-job expansion).
+    partition: str = "batch"
+
+    @property
+    def name(self) -> str:
+        """Torque-style node name."""
+        return f"node{self.index:03d}"
+
+    @property
+    def free(self) -> int:
+        """Cores available for new allocations right now."""
+        if self.state is not NodeState.UP:
+            return 0
+        return self.cores - self.used
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no core of this node is allocated."""
+        return self.used == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node {self.name} {self.used}/{self.cores} used"
+            f" [{self.state.value}/{self.partition}]>"
+        )

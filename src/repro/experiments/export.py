@@ -1,0 +1,72 @@
+"""Machine-readable export of every reproduced artifact.
+
+Downstream users replotting the paper's figures with their own tooling need
+data, not ASCII art.  :func:`export_all` collects every table/figure into
+one JSON-serialisable dict; the CLI exposes it as ``repro-batchsim export``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.runner import run_esp_configuration_cached
+from repro.experiments.table1 import table1_rows
+from repro.experiments.waits import wait_comparison
+
+__all__ = ["export_all", "export_json"]
+
+ALL_CONFIGS = ["Static", "Dyn-HP", "Dyn-500", "Dyn-600"]
+
+
+def export_all(seed: int = 2014, *, include_fig12: bool = True) -> dict[str, Any]:
+    """Every artifact's underlying data, keyed by paper label."""
+    results = {name: run_esp_configuration_cached(name, seed=seed) for name in ALL_CONFIGS}
+    baseline = results["Static"]
+
+    table2 = []
+    for name in ALL_CONFIGS:
+        row = results[name].table2_row(baseline)
+        row["paper_reference"] = results[name].configuration.paper_reference
+        table2.append(row)
+
+    _, wait_rows = wait_comparison(ALL_CONFIGS, seed=seed)
+    waits = [
+        {
+            "index": r["index"],
+            "type": r["type"],
+            **{name: r[name] for name in ALL_CONFIGS},
+        }
+        for r in wait_rows
+    ]
+
+    quadflow = [
+        {
+            "case": run.case,
+            "scenario": run.label,
+            "cores": run.cores,
+            "phase_times_s": list(run.phase_times),
+            "total_s": run.total,
+            "expanded_at_phase": run.expanded_at_phase,
+        }
+        for run in run_fig7()
+    ]
+
+    data: dict[str, Any] = {
+        "paper": "A Batch System with Fair Scheduling for Evolving Applications (ICPP 2014)",
+        "seed": seed,
+        "table1": table1_rows(),
+        "table2": table2,
+        "fig7_quadflow": quadflow,
+        "fig8_to_11_waits": waits,
+    }
+    if include_fig12:
+        data["fig12_overhead_ms"] = run_fig12(repeats=3)
+    return data
+
+
+def export_json(seed: int = 2014, *, indent: int = 2, include_fig12: bool = True) -> str:
+    """The export as pretty-printed JSON text."""
+    return json.dumps(export_all(seed, include_fig12=include_fig12), indent=indent)

@@ -1,0 +1,24 @@
+"""Fig. 10 — waiting times: Static vs Dyn-HP vs Dyn-500.
+
+The restrictive fairness setting makes waits markedly more uniform with
+respect to the static baseline, at the price of fewer satisfied dynamic
+requests (Table II).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.waits import render_wait_comparison, wait_comparison
+
+__all__ = ["run_fig10", "render_fig10"]
+
+CONFIGS = ["Static", "Dyn-HP", "Dyn-500"]
+
+
+def run_fig10(seed: int = 2014):
+    return wait_comparison(CONFIGS, seed=seed)
+
+
+def render_fig10(seed: int = 2014) -> str:
+    return render_wait_comparison(
+        "Fig. 10 — waiting times: Static vs Dyn-HP vs Dyn-500", CONFIGS, seed=seed
+    )

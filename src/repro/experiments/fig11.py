@@ -1,0 +1,23 @@
+"""Fig. 11 — waiting times: Static vs Dyn-HP vs Dyn-600.
+
+The moderate fairness setting recovers most of Dyn-HP's system performance
+while still damping the unfair wait inflation of the mid-range jobs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.waits import render_wait_comparison, wait_comparison
+
+__all__ = ["run_fig11", "render_fig11"]
+
+CONFIGS = ["Static", "Dyn-HP", "Dyn-600"]
+
+
+def run_fig11(seed: int = 2014):
+    return wait_comparison(CONFIGS, seed=seed)
+
+
+def render_fig11(seed: int = 2014) -> str:
+    return render_wait_comparison(
+        "Fig. 11 — waiting times: Static vs Dyn-HP vs Dyn-600", CONFIGS, seed=seed
+    )

@@ -1,0 +1,139 @@
+"""Fig. 12 — overhead of dynamic allocation of 1-10 nodes.
+
+The paper times the full ``tm_dynget`` round-trip on the real cluster, with
+(i) an otherwise empty batch system and (ii) a rigid workload queued and a
+``ReservationDelayDepth`` of 5 — the loaded case pays for delay measurement
+against the planned queue.  The analogous quantity here is the wall-clock
+time the scheduler spends in its dynamic-request path (allocation search,
+profile construction, delay measurement, fairness evaluation, grant), which
+the scheduler accumulates in ``stats["dyn_handle_seconds"]``.
+
+Absolute numbers are not comparable to the paper's (no RPCs, no daemons) but
+the shape must hold: sub-second everywhere, loaded > empty, and a mild growth
+with the number of nodes requested.
+"""
+
+from __future__ import annotations
+
+from repro.apps.synthetic import FixedRuntimeApp
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.jobs.job import Job, JobFlexibility
+from repro.maui.config import MauiConfig
+from repro.metrics.report import render_table
+from repro.rms.tm import TMContext
+from repro.system import BatchSystem
+from repro.units import hours
+
+__all__ = ["OverheadProbe", "setup_overhead_scenario", "measure_overhead", "run_fig12", "render_fig12"]
+
+PPN = 8
+
+
+class _HoldApp:
+    """Runs forever (until walltime); exposes its TM context to the probe."""
+
+    def __init__(self) -> None:
+        self.ctx: TMContext | None = None
+
+    def launch(self, ctx: TMContext) -> None:
+        self.ctx = ctx
+
+
+class OverheadProbe:
+    """A prepared scenario with a pending requester ready to call tm_dynget."""
+
+    def __init__(self, system: BatchSystem, app: _HoldApp) -> None:
+        self.system = system
+        self.app = app
+        self.grant: Allocation | None = None
+
+    def request(self, nodes: int) -> float:
+        """Issue the request and return the scheduler's handling time [s]."""
+        assert self.app.ctx is not None, "requester job did not start"
+        before = self.system.scheduler.stats["dyn_handle_seconds"]
+        granted: list[Allocation | None] = []
+        self.app.ctx.tm_dynget(
+            ResourceRequest(nodes=nodes, ppn=PPN), granted.append
+        )
+        self.system.run(until=self.system.now)  # drain same-timestamp events
+        if not granted:
+            raise RuntimeError("dynamic request was not resolved")
+        self.grant = granted[0]
+        return self.system.scheduler.stats["dyn_handle_seconds"] - before
+
+
+def setup_overhead_scenario(*, loaded: bool, num_nodes: int = 15) -> OverheadProbe:
+    """One job on one node; optionally a rigid background workload.
+
+    The loaded variant keeps 4 nodes busy with running rigid jobs and queues
+    10 more jobs that cannot start, so the dynamic path must measure delays
+    for a populated StartNow/StartLater plan (ReservationDelayDepth = 5)
+    while 10 nodes stay idle for the grant.
+    """
+    config = MauiConfig(reservation_depth=5, reservation_delay_depth=5)
+    system = BatchSystem(num_nodes=num_nodes, cores_per_node=PPN, config=config)
+    app = _HoldApp()
+    requester = Job(
+        request=ResourceRequest(nodes=1, ppn=PPN),
+        walltime=hours(10),
+        user="dynuser",
+        flexibility=JobFlexibility.EVOLVING,
+    )
+    system.submit(requester, app)
+    if loaded:
+        for i in range(4):
+            system.submit(
+                Job(
+                    request=ResourceRequest(nodes=1, ppn=PPN),
+                    walltime=hours(9),
+                    user=f"bg{i % 3:02d}",
+                ),
+                FixedRuntimeApp(hours(9)),
+            )
+        for i in range(10):
+            # oversized requests that must wait => reservations + delay math
+            system.submit(
+                Job(
+                    request=ResourceRequest(cores=12 * PPN),
+                    walltime=hours(1),
+                    user=f"q{i % 5:02d}",
+                ),
+                FixedRuntimeApp(hours(1)),
+            )
+    system.run(until=system.now)  # let everything start / reserve
+    return OverheadProbe(system, app)
+
+
+def measure_overhead(nodes: int, *, loaded: bool) -> float:
+    """Fig. 12 single data point: seconds to serve one dynamic request."""
+    probe = setup_overhead_scenario(loaded=loaded)
+    seconds = probe.request(nodes)
+    if probe.grant is None or probe.grant.total_cores != nodes * PPN:
+        raise RuntimeError(
+            f"expected a grant of {nodes} nodes, got {probe.grant!r}"
+        )
+    return seconds
+
+
+def run_fig12(repeats: int = 5) -> list[dict]:
+    """Both curves, 1-10 nodes, best-of-``repeats`` per point."""
+    rows = []
+    for nodes in range(1, 11):
+        empty = min(measure_overhead(nodes, loaded=False) for _ in range(repeats))
+        loaded = min(measure_overhead(nodes, loaded=True) for _ in range(repeats))
+        rows.append(
+            {"nodes": nodes, "empty_ms": empty * 1e3, "loaded_ms": loaded * 1e3}
+        )
+    return rows
+
+
+def render_fig12(rows: list[dict] | None = None) -> str:
+    if rows is None:
+        rows = run_fig12()
+    headers = ["Nodes", "No workload [ms]", "Rigid workload, RDD=5 [ms]"]
+    body = [
+        [r["nodes"], f"{r['empty_ms']:.3f}", f"{r['loaded_ms']:.3f}"] for r in rows
+    ]
+    return render_table(
+        headers, body, title="Fig. 12 — dynamic allocation overhead (wall-clock)"
+    )

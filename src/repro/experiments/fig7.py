@@ -1,0 +1,129 @@
+"""Fig. 7 — Quadflow execution times by adaptation phase.
+
+Runs each test case three ways on a dedicated 4-node cluster (so the job
+never queues): static on 16 cores, static on 32 cores, and dynamic starting
+on 16 cores with a runtime expansion to 32.  The dynamic run goes through
+the full batch stack — the application issues a real ``tm_dynget`` when a
+grid adaptation crosses the cells-per-process threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.quadflow import CYLINDER, FLAT_PLATE, QuadflowApp, QuadflowCase
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.job import Job, JobFlexibility
+from repro.maui.config import MauiConfig
+from repro.metrics.report import render_table
+from repro.system import BatchSystem
+from repro.units import hours
+
+__all__ = ["QuadflowRun", "run_quadflow_case", "run_fig7", "render_fig7", "render_fig7_bars"]
+
+PPN = 8
+
+
+@dataclass(frozen=True)
+class QuadflowRun:
+    """One bar of Fig. 7: per-phase durations plus the total."""
+
+    case: str
+    label: str
+    cores: str
+    phase_times: tuple[float, ...]
+    expanded_at_phase: int | None
+
+    @property
+    def total(self) -> float:
+        return sum(self.phase_times)
+
+
+def run_quadflow_case(
+    case: QuadflowCase, *, dynamic: bool, start_nodes: int = 2, cluster_nodes: int = 4
+) -> QuadflowRun:
+    """Run one Quadflow job through the batch system and harvest phase times."""
+    system = BatchSystem(
+        num_nodes=cluster_nodes, cores_per_node=PPN, config=MauiConfig()
+    )
+    job = Job(
+        request=ResourceRequest(nodes=start_nodes, ppn=PPN),
+        walltime=hours(48),
+        user="cfd01",
+        flexibility=JobFlexibility.EVOLVING if dynamic else JobFlexibility.RIGID,
+    )
+    app = QuadflowApp(case, dynamic=dynamic, ppn=PPN)
+    system.submit(job, app)
+    system.run(max_events=100_000)
+    if not job.is_finished:
+        raise RuntimeError(f"Quadflow {case.name} did not finish")
+    start_cores = start_nodes * PPN
+    expanded = job.metadata.get("expanded_at_phase")
+    cores_label = (
+        f"{start_cores}->{start_cores * 2}" if dynamic and expanded is not None else str(start_cores)
+    )
+    return QuadflowRun(
+        case=case.name,
+        label="dynamic" if dynamic else f"static-{start_cores}",
+        cores=cores_label,
+        phase_times=tuple(job.metadata["phase_times"]),
+        expanded_at_phase=expanded,
+    )
+
+
+def run_fig7() -> list[QuadflowRun]:
+    """All six bars of Fig. 7 (two cases × three scenarios)."""
+    runs: list[QuadflowRun] = []
+    for case in (FLAT_PLATE, CYLINDER):
+        runs.append(run_quadflow_case(case, dynamic=False, start_nodes=2))
+        runs.append(run_quadflow_case(case, dynamic=False, start_nodes=4))
+        runs.append(run_quadflow_case(case, dynamic=True, start_nodes=2))
+    return runs
+
+
+def render_fig7_bars(runs: list[QuadflowRun], *, width: int = 66) -> str:
+    """Horizontal stacked bars, one per run — the shape of the paper's Fig. 7.
+
+    Phases alternate between two fill characters (the paper alternates
+    shading); the final (post-threshold) phase is the long tail whose
+    halving produces the dynamic savings.
+    """
+    scale = max(run.total for run in runs)
+    fills = "█▒"
+    lines = []
+    for run in runs:
+        bar = []
+        for i, phase_time in enumerate(run.phase_times):
+            cells = max(1, int(round(width * phase_time / scale)))
+            bar.append(fills[i % 2] * cells)
+        label = f"{run.case} {run.label}"
+        lines.append(f"{label:<22} {''.join(bar)} {run.total / 3600:.1f}h")
+    lines.append(f"{'':<22} (alternating shades = adaptation phases)")
+    return "\n".join(lines)
+
+
+def render_fig7(runs: list[QuadflowRun] | None = None) -> str:
+    if runs is None:
+        runs = run_fig7()
+    headers = ["Case", "Scenario", "Cores", "Phases [h]", "Total [h]", "Saving vs static-16"]
+    static16 = {r.case: r.total for r in runs if r.label == "static-16"}
+    body = []
+    for r in runs:
+        saving = ""
+        if r.label == "dynamic":
+            base = static16[r.case]
+            saving = f"{100 * (base - r.total) / base:.1f}% ({(base - r.total) / 3600:.1f} h)"
+        body.append(
+            [
+                r.case,
+                r.label,
+                r.cores,
+                " + ".join(f"{t / 3600:.2f}" for t in r.phase_times),
+                f"{r.total / 3600:.2f}",
+                saving,
+            ]
+        )
+    table = render_table(
+        headers, body, title="Fig. 7 — Quadflow execution times by adaptation phase"
+    )
+    return table + "\n\n" + render_fig7_bars(runs)

@@ -1,0 +1,39 @@
+"""Fig. 8 — waiting times, Static vs Dynamic-HP.
+
+The paper's observation: most waits shrink under Dyn-HP, but a contiguous
+band of mid-submission jobs waits *longer* than in the static run — the
+unfairness the DFS policies exist to bound.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.waits import render_wait_comparison, wait_comparison
+
+__all__ = ["run_fig8", "render_fig8"]
+
+CONFIGS = ["Static", "Dyn-HP"]
+
+
+def run_fig8(seed: int = 2014):
+    """Results plus per-job rows for Static and Dyn-HP."""
+    return wait_comparison(CONFIGS, seed=seed)
+
+
+def render_fig8(seed: int = 2014) -> str:
+    text = render_wait_comparison(
+        "Fig. 8 — waiting times per job: Static vs Dyn-HP", CONFIGS, seed=seed
+    )
+    _, rows = run_fig8(seed)
+    worse = [
+        r["index"]
+        for r in rows
+        if r["Static"] is not None
+        and r["Dyn-HP"] is not None
+        and r["Dyn-HP"] > r["Static"] + 1.0
+    ]
+    if worse:
+        text += (
+            f"\n  jobs waiting longer under Dyn-HP: {len(worse)} "
+            f"(indices {worse[0]}..{worse[-1]})"
+        )
+    return text

@@ -1,0 +1,27 @@
+"""Fig. 9 — waiting times of type-L jobs across all four configurations.
+
+Type L (user08, 36 jobs) is the paper's showcase victim: half its jobs wait
+longer under Dyn-HP, and the DFS configurations pull those waits back down.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.waits import render_wait_comparison, wait_comparison
+
+__all__ = ["run_fig9", "render_fig9"]
+
+CONFIGS = ["Static", "Dyn-HP", "Dyn-500", "Dyn-600"]
+
+
+def run_fig9(seed: int = 2014):
+    results, rows = wait_comparison(CONFIGS, seed=seed)
+    return results, [r for r in rows if r["type"] == "L"]
+
+
+def render_fig9(seed: int = 2014) -> str:
+    return render_wait_comparison(
+        "Fig. 9 — waiting times of type L jobs (all configurations)",
+        CONFIGS,
+        seed=seed,
+        esp_type="L",
+    )

@@ -1,0 +1,104 @@
+"""Run one ESP configuration end to end and collect its metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.experiments.configs import ESPConfiguration
+from repro.metrics.collector import WorkloadMetrics
+from repro.system import BatchSystem
+from repro.workloads.esp import make_esp_workload
+
+__all__ = ["ESPResult", "run_esp_configuration", "run_esp_configuration_cached"]
+
+#: the paper's testbed: 15 compute nodes × 2× quad-core Xeon X5570
+DEFAULT_NODES = 15
+DEFAULT_CORES_PER_NODE = 8
+DEFAULT_SEED = 2014
+
+
+@dataclass(frozen=True)
+class ESPResult:
+    """Outcome of one configuration run."""
+
+    configuration: ESPConfiguration
+    metrics: WorkloadMetrics
+    scheduler_stats: dict
+
+    @property
+    def name(self) -> str:
+        return self.configuration.name
+
+    def table2_row(self, baseline: "ESPResult | None" = None) -> dict:
+        """The Table II row for this run (throughput increase vs baseline)."""
+        m = self.metrics
+        row = {
+            "config": self.name,
+            "time_min": m.workload_time_minutes,
+            "satisfied_dyn_jobs": m.satisfied_dyn_jobs,
+            "util_pct": 100.0 * m.utilization,
+            "throughput_jobs_per_min": m.throughput_jobs_per_minute,
+        }
+        if baseline is not None and baseline is not self:
+            row["tp_increase_pct"] = m.throughput_increase_vs(baseline.metrics)
+        return row
+
+
+def run_esp_configuration(
+    configuration: ESPConfiguration,
+    *,
+    num_nodes: int = DEFAULT_NODES,
+    cores_per_node: int = DEFAULT_CORES_PER_NODE,
+    seed: int = DEFAULT_SEED,
+    walltime_factor: float = 1.0,
+) -> ESPResult:
+    """Simulate the (dynamic) ESP workload under one configuration."""
+    system = BatchSystem(
+        num_nodes=num_nodes, cores_per_node=cores_per_node, config=configuration.maui
+    )
+    workload = make_esp_workload(
+        total_cores=num_nodes * cores_per_node,
+        dynamic=configuration.dynamic_workload,
+        seed=seed,
+        walltime_factor=walltime_factor,
+    )
+    workload.submit_to(system)
+    system.run(max_events=5_000_000)
+    if system.server.queue or any(j.is_active for j in system.server.jobs.values()):
+        raise RuntimeError(
+            f"{configuration.name}: workload did not drain "
+            f"({len(system.server.queue)} queued)"
+        )
+    return ESPResult(
+        configuration=configuration,
+        metrics=system.metrics(),
+        scheduler_stats=dict(system.scheduler.stats),
+    )
+
+
+@lru_cache(maxsize=16)
+def _cached(config_name: str, num_nodes: int, cores_per_node: int, seed: int) -> ESPResult:
+    from repro.experiments.configs import all_configurations
+
+    configuration = next(
+        c for c in all_configurations() if c.name == config_name
+    )
+    return run_esp_configuration(
+        configuration, num_nodes=num_nodes, cores_per_node=cores_per_node, seed=seed
+    )
+
+
+def run_esp_configuration_cached(
+    config_name: str,
+    *,
+    num_nodes: int = DEFAULT_NODES,
+    cores_per_node: int = DEFAULT_CORES_PER_NODE,
+    seed: int = DEFAULT_SEED,
+) -> ESPResult:
+    """Memoised runner for the four canonical configurations.
+
+    The figure harnesses (8-11) share runs with Table II instead of
+    re-simulating the same workload several times.
+    """
+    return _cached(config_name, num_nodes, cores_per_node, seed)

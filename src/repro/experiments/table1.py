@@ -1,0 +1,65 @@
+"""Table I — the dynamic ESP workload definition.
+
+Prints the paper's job-type table next to the values this reproduction
+derives for the configured machine size: core counts from the ESP fractions,
+and the model's dynamic execution time ``SET·c/(c+4)`` alongside the paper's
+reference DET column.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.report import render_table
+from repro.workloads.esp import (
+    ESP_EXTRA_CORES,
+    ESP_JOB_TYPES,
+    esp_core_count,
+    expected_dynamic_runtime,
+)
+
+__all__ = ["table1_rows", "render_table1"]
+
+
+def table1_rows(total_cores: int = 120) -> list[dict]:
+    """One dict per job type (paper values + model-derived values)."""
+    rows = []
+    for jtype in ESP_JOB_TYPES:
+        cores = esp_core_count(jtype.fraction, total_cores)
+        model_det = (
+            expected_dynamic_runtime(
+                jtype.static_execution_time, cores, ESP_EXTRA_CORES, 0.0
+            )
+            if jtype.is_evolving
+            else None
+        )
+        rows.append(
+            {
+                "type": jtype.letter,
+                "user": jtype.user,
+                "fraction": jtype.fraction,
+                "count": jtype.count,
+                "cores": cores,
+                "set_s": jtype.static_execution_time,
+                "paper_det_s": jtype.paper_det,
+                "model_det_s": model_det,
+            }
+        )
+    return rows
+
+
+def render_table1(total_cores: int = 120) -> str:
+    rows = table1_rows(total_cores)
+    headers = ["Type", "User", "Size", "Count", "Cores", "SET[s]", "DET[s] paper", "DET[s] model"]
+    body = [
+        [
+            r["type"],
+            r["user"],
+            f"{r['fraction']:.5f}",
+            r["count"],
+            r["cores"],
+            f"{r['set_s']:.0f}",
+            "-" if r["paper_det_s"] is None else f"{r['paper_det_s']:.0f}",
+            "-" if r["model_det_s"] is None else f"{r['model_det_s']:.0f}",
+        ]
+        for r in rows
+    ]
+    return render_table(headers, body, title=f"Table I — dynamic ESP on {total_cores} cores")

@@ -1,0 +1,54 @@
+"""Table II — performance comparison of the four evaluation configurations."""
+
+from __future__ import annotations
+
+from repro.experiments.configs import all_configurations
+from repro.experiments.runner import ESPResult, run_esp_configuration_cached
+from repro.metrics.report import render_table
+
+__all__ = ["run_table2", "render_table2"]
+
+
+def run_table2(seed: int = 2014) -> list[ESPResult]:
+    """Run (or reuse) all four configurations; Static is the baseline row."""
+    return [
+        run_esp_configuration_cached(cfg.name, seed=seed)
+        for cfg in all_configurations()
+    ]
+
+
+def render_table2(results: list[ESPResult] | None = None, seed: int = 2014) -> str:
+    if results is None:
+        results = run_table2(seed=seed)
+    baseline = results[0]
+    headers = [
+        "Config",
+        "Time[min]",
+        "Satisfied Dyn Jobs",
+        "Util[%]",
+        "TP[jobs/min]",
+        "TP increase[%]",
+        "paper Time",
+        "paper Sat",
+        "paper Util",
+    ]
+    body = []
+    for result in results:
+        row = result.table2_row(baseline)
+        ref = result.configuration.paper_reference
+        body.append(
+            [
+                row["config"],
+                f"{row['time_min']:.2f}",
+                row["satisfied_dyn_jobs"],
+                f"{row['util_pct']:.2f}",
+                f"{row['throughput_jobs_per_min']:.2f}",
+                "-" if "tp_increase_pct" not in row else f"{row['tp_increase_pct']:.1f}",
+                f"{ref['time_min']:.2f}",
+                ref["satisfied"],
+                f"{ref['util_pct']:.2f}",
+            ]
+        )
+    return render_table(
+        headers, body, title="Table II — performance comparison (measured vs paper)"
+    )

@@ -1,0 +1,84 @@
+"""Shared machinery for the waiting-time figures (Figs. 8-11).
+
+Each figure compares per-job waiting times across configurations, with jobs
+on the x-axis in submission order.  Because every configuration replays the
+same seeded workload, submission indices are directly comparable between
+runs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ESPResult, run_esp_configuration_cached
+from repro.metrics.plot import render_xy_plot
+from repro.metrics.report import render_table
+
+__all__ = ["wait_comparison", "render_wait_comparison"]
+
+
+def wait_comparison(
+    config_names: list[str], seed: int = 2014
+) -> tuple[list[ESPResult], list[dict]]:
+    """Per-job waits for the named configurations.
+
+    Returns the results plus one dict per submission index:
+    ``{"index": i, "type": letter, "<config>": wait_seconds, ...}``.
+    """
+    results = [run_esp_configuration_cached(name, seed=seed) for name in config_names]
+    base_records = results[0].metrics.records
+    rows: list[dict] = []
+    for i, record in enumerate(base_records):
+        row: dict = {"index": i, "type": record.esp_type}
+        for result in results:
+            rec = result.metrics.records[i]
+            if rec.esp_type != record.esp_type:
+                raise RuntimeError(
+                    "workload replay mismatch: differing job order between runs"
+                )
+            row[result.name] = rec.wait_time
+        rows.append(row)
+    return results, rows
+
+
+def render_wait_comparison(
+    title: str,
+    config_names: list[str],
+    seed: int = 2014,
+    *,
+    every: int = 10,
+    esp_type: str | None = None,
+) -> str:
+    """A figure as an aligned table (optionally filtered to one job type)."""
+    results, rows = wait_comparison(config_names, seed=seed)
+    if esp_type is not None:
+        rows = [r for r in rows if r["type"] == esp_type]
+        shown = rows
+    else:
+        shown = rows[::every]
+    headers = ["Job#", "Type"] + [f"{n} wait[s]" for n in config_names]
+    body = [
+        [r["index"], r["type"] or "-"]
+        + [("-" if r[n] is None else f"{r[n]:.0f}") for n in config_names]
+        for r in shown
+    ]
+    summary_lines = []
+    for result in results:
+        m = result.metrics
+        summary_lines.append(
+            f"  {result.name}: mean wait {m.mean_wait:.0f}s over "
+            f"{len(m.records)} jobs, per-user wait fairness "
+            f"{m.wait_fairness_index:.3f} (Jain)"
+        )
+    table = render_table(headers, body, title=title)
+    plot = render_xy_plot(
+        {
+            name: [
+                (r["index"], r[name]) for r in rows if r[name] is not None
+            ]
+            for name in config_names
+        },
+        title="",
+        x_label="job (submission order)",
+        y_label="wait [s]",
+        height=18,
+    )
+    return table + "\n" + "\n".join(summary_lines) + "\n\n" + plot

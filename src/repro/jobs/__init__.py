@@ -1,0 +1,20 @@
+"""Job model: Feitelson/Rudolph flexibility classes, states, queues.
+
+The paper (Section I) uses the classic taxonomy — rigid, moldable, malleable
+and evolving jobs — and adds the transient ``dynqueued`` state a running
+evolving job enters while one of its dynamic requests waits at the server.
+"""
+
+from repro.jobs.evolution import EvolutionProfile, EvolutionStep
+from repro.jobs.job import Job, JobFlexibility, JobState
+from repro.jobs.queue import DynRequest, JobQueue
+
+__all__ = [
+    "DynRequest",
+    "EvolutionProfile",
+    "EvolutionStep",
+    "Job",
+    "JobFlexibility",
+    "JobQueue",
+    "JobState",
+]

@@ -1,0 +1,38 @@
+"""Backfill: run low-priority jobs out of order without disturbing reservations.
+
+Maui's FIRSTFIT backfill, constrained by the reservations of the top
+``ReservationDepth`` blocked jobs (a small depth gives optimistic backfill,
+a large depth conservative backfill — paper Section III-A).  Backfill is
+suspended entirely while an ESP Z-type job is queued.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.profile import AvailabilityProfile
+from repro.jobs.job import Job
+from repro.maui.reservations import PlannedJob
+
+__all__ = ["select_backfill"]
+
+
+def select_backfill(
+    candidates: list[Job],
+    profile: AvailabilityProfile,
+    now: float,
+) -> list[PlannedJob]:
+    """Choose backfill starts among ``candidates`` (priority order).
+
+    ``profile`` must already contain the claims of every started job and of
+    the protected reservations; it is mutated as candidates are accepted so
+    that one backfill choice cannot invalidate the next.  A job is accepted
+    iff it fits *now* for its full walltime — i.e. it provably cannot delay
+    any protected reservation.
+    """
+    chosen: list[PlannedJob] = []
+    for job in candidates:
+        alloc = profile.fits_at(now, job.walltime, job.request)
+        if alloc is None:
+            continue
+        profile.add_claim(now, now + job.walltime, alloc)
+        chosen.append(PlannedJob(job, now, alloc))
+    return chosen

@@ -1,0 +1,206 @@
+"""Dynamic fairness (DFS) policy evaluation and accounting.
+
+This is the core fairness mechanism of the paper (Section III-D).  When the
+scheduler contemplates granting a dynamic request, it first measures the
+delay the hypothetical grant would inflict on each planned queued job (the
+*victims*).  The :class:`DFSLedger` then decides whether the grant is fair:
+
+* ``DFSDynDelayPerm`` — a victim whose user (or group/account/class/QoS) is
+  not delayable vetoes the grant outright;
+* ``DFSSingleJobDelay`` — each victim job's *total* accumulated delay must
+  stay within the most restrictive ``DFSSingleDelayTime`` applying to it;
+* ``DFSTargetDelay`` — each principal's *cumulative* delay within the current
+  ``DFSInterval`` must stay within its ``DFSTargetDelayTime``;
+* victims owned by the requesting user are exempt ("when the evolving job and
+  the static job are from the same user, the delay is not considered").
+
+At every interval boundary the cumulative ledgers decay by ``DFSDecay``
+(paper example: 3600 s accumulated, decay 0.2 → 720 s carried forward,
+leaving 4080 s of headroom against a 4800 s target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jobs.job import Job
+from repro.maui.config import DFSConfig, DFSPolicy
+from repro.units import UNLIMITED
+
+__all__ = ["DFSLedger", "FairnessDecision", "Victim"]
+
+#: delays below this are scheduling-noise, not fairness-relevant
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Victim:
+    """A queued job delayed by a hypothetical dynamic allocation."""
+
+    job: Job
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative delay for {self.job.job_id}: {self.delay}")
+
+
+@dataclass(frozen=True, slots=True)
+class FairnessDecision:
+    """Outcome of a policy evaluation, with a human-readable reason."""
+
+    allowed: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+class DFSLedger:
+    """Tracks cumulative dynamic-allocation delays per principal."""
+
+    def __init__(self, config: DFSConfig, start_time: float = 0.0) -> None:
+        self.config = config
+        self.interval_start = float(start_time)
+        self.intervals_rolled = 0
+        # cumulative delay in the current interval, per (kind, name)
+        self._cumulative: dict[tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # interval roll-over
+    # ------------------------------------------------------------------
+    def roll(self, now: float) -> int:
+        """Advance interval boundaries up to ``now``; returns intervals rolled.
+
+        Each roll multiplies every cumulative delay by ``DFSDecay``; with the
+        default decay of 0 the ledger resets completely.
+        """
+        rolled = 0
+        while now >= self.interval_start + self.config.interval:
+            self.interval_start += self.config.interval
+            rolled += 1
+            if self.config.decay == 0.0:
+                self._cumulative.clear()
+            else:
+                for key in list(self._cumulative):
+                    self._cumulative[key] *= self.config.decay
+                    if self._cumulative[key] < _EPSILON:
+                        del self._cumulative[key]
+        self.intervals_rolled += rolled
+        return rolled
+
+    def cumulative_delay(self, kind: str, name: str) -> float:
+        """Current-interval accumulated delay for a principal."""
+        return self._cumulative.get((kind, name), 0.0)
+
+    # ------------------------------------------------------------------
+    # policy evaluation
+    # ------------------------------------------------------------------
+    def _principal_records(self, job: Job):
+        return self.config.limits_for(
+            user=job.user,
+            group=job.group,
+            account=job.account,
+            job_class=job.job_class,
+            qos=job.qos,
+        )
+
+    def evaluate(
+        self, victims: list[Victim], requesting_user: str, now: float
+    ) -> FairnessDecision:
+        """Would charging these delays violate any configured limit?
+
+        Must be called with the ledger already rolled to ``now``.  With
+        ``DFSPolicy.NONE`` every grant is allowed and delays are ignored
+        ("dynamic requests will have the highest priority over the static
+        jobs", Section III-D).
+        """
+        policy = self.config.policy
+        if policy is DFSPolicy.NONE:
+            return FairnessDecision(True, "DFS disabled")
+        relevant = [
+            v
+            for v in victims
+            if v.delay > _EPSILON and v.job.user != requesting_user
+        ]
+        if not relevant:
+            return FairnessDecision(True, "no foreign job delayed")
+        # proposed additional delay per principal in this grant
+        proposed: dict[tuple[str, str], float] = {}
+        for victim in relevant:
+            records = self._principal_records(victim.job)
+            for kind, name, limits in records:
+                # permission veto applies under every enabled policy
+                if not limits.dyn_delay_perm:
+                    return FairnessDecision(
+                        False,
+                        f"{kind} {name} may not be delayed (DFSDynDelayPerm=0)",
+                    )
+            if policy.checks_single:
+                single_cap = min(limits.single_delay_time for _, _, limits in records)
+                if single_cap != UNLIMITED and (
+                    victim.job.accrued_delay + victim.delay > single_cap
+                ):
+                    return FairnessDecision(
+                        False,
+                        f"job {victim.job.job_id} single-delay cap exceeded "
+                        f"({victim.job.accrued_delay + victim.delay:.0f}s > {single_cap:.0f}s)",
+                    )
+            if policy.checks_target:
+                for kind, name, _limits in records:
+                    key = (kind, name)
+                    proposed[key] = proposed.get(key, 0.0) + victim.delay
+        if policy.checks_target:
+            for (kind, name), extra in proposed.items():
+                limits = self._limits_of(kind, name)
+                if limits.target_delay_time == UNLIMITED:
+                    continue
+                if self.cumulative_delay(kind, name) + extra > limits.target_delay_time:
+                    return FairnessDecision(
+                        False,
+                        f"{kind} {name} target-delay cap exceeded "
+                        f"({self.cumulative_delay(kind, name) + extra:.0f}s > "
+                        f"{limits.target_delay_time:.0f}s per interval)",
+                    )
+        return FairnessDecision(True, "within limits")
+
+    def _limits_of(self, kind: str, name: str):
+        table = {
+            "user": self.config.users,
+            "group": self.config.groups,
+            "account": self.config.accounts,
+            "class": self.config.classes,
+            "qos": self.config.qos,
+        }[kind]
+        if kind == "user":
+            return table.get(name, self.config.default_user)
+        return table[name]
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+    def commit(self, victims: list[Victim], requesting_user: str) -> float:
+        """Charge the grant's delays to the ledgers and the victim jobs.
+
+        Returns the total foreign delay charged.  Same-user victims are
+        exempt.  Must only be called after a successful :meth:`evaluate` at
+        the same timestamp.
+        """
+        if self.config.policy is DFSPolicy.NONE:
+            return 0.0
+        total = 0.0
+        for victim in victims:
+            if victim.delay <= _EPSILON or victim.job.user == requesting_user:
+                continue
+            victim.job.accrued_delay += victim.delay
+            total += victim.delay
+            for kind, name, _limits in self._principal_records(victim.job):
+                key = (kind, name)
+                self._cumulative[key] = self._cumulative.get(key, 0.0) + victim.delay
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"<DFSLedger {self.config.policy.value} interval_start="
+            f"{self.interval_start:.0f} entries={len(self._cumulative)}>"
+        )

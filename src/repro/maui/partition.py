@@ -1,0 +1,47 @@
+"""Dynamic-partition support (Section II-B, option 2).
+
+A site may fence off a set of nodes as a *dynamic partition* reserved for
+serving dynamic requests: static jobs never start there, so evolving jobs
+find resources with high probability, at the cost of idling the partition in
+workloads with little evolution.  The helpers here centralise the partition
+arithmetic so the scheduler stays readable.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.machine import Cluster
+from repro.maui.config import MauiConfig
+
+__all__ = ["static_partitions", "find_dynamic_allocation"]
+
+
+def static_partitions(config: MauiConfig) -> tuple[str, ...] | None:
+    """Partitions available to static jobs (None = all)."""
+    return ("batch",) if config.use_dynamic_partition else None
+
+
+def find_dynamic_allocation(
+    cluster: Cluster,
+    request: ResourceRequest,
+    config: MauiConfig,
+    *,
+    exclude_nodes: set[int] | frozenset[int] = frozenset(),
+) -> Allocation | None:
+    """Idle resources for a dynamic request, honouring the partition policy.
+
+    With the dynamic partition enabled, the partition is tried first and the
+    general idle pool second; without it, any idle cores qualify.  A single
+    request never spans the partition boundary — mixing fenced and unfenced
+    nodes would let a static-job drain strand half the grant.
+    ``exclude_nodes`` removes nodes under administrative reservations.
+    """
+    if config.use_dynamic_partition:
+        alloc = cluster.find_allocation(
+            request, partitions=("dynamic",), exclude_nodes=exclude_nodes
+        )
+        if alloc is not None:
+            return alloc
+    return cluster.find_allocation(
+        request, partitions=static_partitions(config), exclude_nodes=exclude_nodes
+    )

@@ -1,0 +1,58 @@
+"""Preemption planning: steal resources from preemptible jobs for dynamic requests.
+
+One of the paper's four resource sources for dynamic requests (Section II-B)
+and an explicit option of Algorithm 2 line 12 ("from idle before preemptible
+resources").  Only *backfilled* jobs are preemptible — they ran out of order
+on opportunistic resources, so reclaiming them cannot violate any priority
+guarantee.  Victims are chosen latest-started-first (the least sunk work) and
+requeued, restarting from scratch like any requeued batch job.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.allocation import ResourceRequest
+from repro.cluster.machine import Cluster
+from repro.jobs.job import Job
+
+__all__ = ["plan_preemption"]
+
+
+def plan_preemption(
+    cluster: Cluster,
+    request: ResourceRequest,
+    running_jobs: list[Job],
+    *,
+    partitions: tuple[str, ...] | None = None,
+) -> list[Job] | None:
+    """Smallest latest-started-first set of backfilled jobs whose removal
+    makes ``request`` satisfiable from idle + freed cores.
+
+    Returns None when even preempting every candidate would not help.  The
+    caller preempts the victims through the server and then re-runs the
+    normal allocation.
+    """
+    candidates = [
+        j for j in running_jobs if j.backfilled and j.is_active and not j.is_evolving
+    ]
+    # least sunk work first
+    candidates.sort(key=lambda j: (-(j.start_time or 0.0), j.seq))
+    free = cluster.free_by_node(partitions=partitions)
+    victims: list[Job] = []
+
+    def fits() -> bool:
+        if request.is_shaped:
+            eligible = sum(1 for f in free.values() if f >= request.ppn)
+            return eligible >= request.nodes
+        return sum(free.values()) >= request.cores
+
+    if fits():
+        return []
+    for job in candidates:
+        assert job.allocation is not None
+        for node, cores in job.allocation.items():
+            if node in free:  # node may be outside the allowed partitions
+                free[node] += cores
+        victims.append(job)
+        if fits():
+            return victims
+    return None

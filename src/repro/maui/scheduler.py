@@ -1,0 +1,628 @@
+"""The extended Maui scheduler (paper Algorithms 1 and 2).
+
+One :class:`MauiScheduler` instance attaches to a server and runs a
+scheduling iteration whenever job or resource state changes (Maui wake-up
+condition (i)), optionally also on a periodic timer.  Each iteration:
+
+1. updates statistics (fairshare usage accrual, DFS interval roll-over);
+2. selects and prioritises eligible static jobs and — separately, in FIFO
+   order — eligible dynamic requests;
+3. for every dynamic request: tries to allocate idle resources (dynamic
+   partition first if enabled, preemptible resources last), measures the
+   delays a grant would inflict on the planned queue, asks the dynamic
+   fairness policies for permission, and grants or rejects;
+4. starts static jobs in priority order, creating reservations for the top
+   ``ReservationDepth`` blocked jobs;
+5. backfills the remaining queue (suspended while an ESP Z-job waits).
+
+With ``dynamic_enabled=False`` the iteration degrades exactly to the
+original Algorithm 1 and every dynamic request is rejected — that is the
+paper's "Static" baseline configuration.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.machine import Cluster
+from repro.cluster.profile import AvailabilityProfile, NoFitError
+from repro.jobs.job import Job
+from repro.jobs.queue import DynRequest
+from repro.maui.config import MauiConfig
+from repro.maui.delay import measure_delays
+from repro.maui.fairness import DFSLedger
+from repro.maui.partition import find_dynamic_allocation, static_partitions
+from repro.maui.preemption import plan_preemption
+from repro.maui.priority import FairshareTracker, Prioritizer
+from repro.rms.server import Server
+from repro.sim.engine import Engine, PRIORITY_SCHEDULER
+from repro.sim.events import EventKind
+
+__all__ = ["MauiScheduler"]
+
+
+class MauiScheduler:
+    """Event-driven scheduler daemon."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        server: Server,
+        config: MauiConfig | None = None,
+    ) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        self.server = server
+        self.config = config if config is not None else MauiConfig()
+        self.trace = server.trace
+        self.fairshare = FairshareTracker(
+            self.config.weights.fairshare_interval,
+            self.config.weights.fairshare_decay,
+            start_time=engine.now,
+        )
+        self.prioritizer = Prioritizer(self.config.weights, self.fairshare)
+        self.dfs = DFSLedger(self.config.dfs, start_time=engine.now)
+        self._wake_pending = False
+        self._last_stats_time = engine.now
+        #: cumulative counters for reports and tests
+        self.stats = {
+            "iterations": 0,
+            "dyn_granted": 0,
+            "dyn_rejected": 0,
+            "dyn_rejected_fairness": 0,
+            "dyn_rejected_resources": 0,
+            "jobs_started": 0,
+            "jobs_backfilled": 0,
+            "reservations_created": 0,
+            "preemptions": 0,
+            "malleable_shrinks": 0,
+            "jobs_molded": 0,
+            "total_delay_charged": 0.0,
+            "dyn_handle_seconds": 0.0,  # wall-clock cost of the dynamic path
+        }
+        #: pending wake at the next reservation boundary (Maui wake-up
+        #: condition (ii)); rescheduled every iteration
+        self._boundary_wake = None
+        self._next_reservation_start: float | None = None
+        server.on_state_change = self.request_iteration
+        if self.config.timer_interval is not None:
+            self.engine.after(self.config.timer_interval, self._timer_tick)
+        for reservation in self.config.admin_reservations:
+            # both edges of a maintenance window are scheduling opportunities
+            for edge in (reservation.start, reservation.end):
+                if edge > engine.now:
+                    self.engine.at(edge, self.request_iteration)
+
+    # ------------------------------------------------------------------
+    # wake-up machinery
+    # ------------------------------------------------------------------
+    def request_iteration(self) -> None:
+        """Coalesced wake-up: at most one iteration is queued at a time."""
+        if self._wake_pending:
+            return
+        self._wake_pending = True
+        self.engine.at(
+            self.engine.now, self._run_iteration, priority=PRIORITY_SCHEDULER
+        )
+
+    def _run_iteration(self) -> None:
+        self._wake_pending = False
+        self.iteration()
+
+    def _timer_tick(self) -> None:
+        self.request_iteration()
+        self.engine.after(self.config.timer_interval, self._timer_tick)
+
+    # ------------------------------------------------------------------
+    # profile construction
+    # ------------------------------------------------------------------
+    def _build_profile(
+        self, partitions: tuple[str, ...] | None
+    ) -> AvailabilityProfile:
+        """Current + future availability over the given partitions.
+
+        Running jobs release their full (possibly expanded) allocation at
+        their walltime end — the scheduler plans with walltimes, not with
+        the actual completion times it cannot know.
+        """
+        now = self.engine.now
+        free = self.cluster.free_by_node(partitions=partitions)
+        capacity = {
+            n.index: n.cores for n in self.cluster.nodes if n.index in free
+        }
+        profile = AvailabilityProfile(sorted(free), free, now, capacity)
+        for job in self.server.active_jobs():
+            assert job.allocation is not None
+            assert job.walltime_end > now, f"{job.job_id} past walltime yet active"
+            inside = {n: c for n, c in job.allocation.items() if n in free}
+            if inside:
+                profile.add_release(job.walltime_end, Allocation(inside))
+        for reservation in self.config.admin_reservations:
+            if reservation.end <= now:
+                continue
+            inside = {
+                n: c for n, c in reservation.cores_by_node.items() if n in free
+            }
+            if not inside:
+                continue
+            try:
+                profile.add_claim(
+                    max(reservation.start, now), reservation.end, Allocation(inside)
+                )
+            except ValueError:
+                # the reserved cores are (partly) occupied by running jobs:
+                # the operator drains them; the profile already shows them
+                # busy until those jobs' walltime ends
+                pass
+        return profile
+
+    # ------------------------------------------------------------------
+    # the iteration
+    # ------------------------------------------------------------------
+    def iteration(self) -> None:
+        """One full scheduling cycle (Algorithm 2; Algorithm 1 if static)."""
+        now = self.engine.now
+        self.stats["iterations"] += 1
+        self._update_statistics(now)
+
+        if self.server.dyn_queue:
+            if self.config.dynamic_enabled:
+                self._process_dynamic_requests(now)
+            else:
+                for dreq in list(self.server.dyn_queue):
+                    self._reject(dreq, "dynamic allocation disabled", kind="resources")
+
+        ordered = self._eligible_static(now)
+        lockdown = self.server.queue.has_top_priority_job
+        started, backfilled = self._start_static(ordered, now, lockdown)
+        self._schedule_boundary_wake()
+
+        self.trace.record(
+            now,
+            EventKind.SCHED_ITERATION,
+            queued=len(self.server.queue),
+            dynqueued=len(self.server.dyn_queue),
+            started=started,
+            backfilled=backfilled,
+            lockdown=lockdown,
+        )
+
+    def _eligible_static(self, now: float) -> list[Job]:
+        """Queued jobs eligible for priority scheduling (Algorithm step 6).
+
+        Two gates, both part of Maui's "minimum scheduling criterion":
+
+        * dependencies — unmet dependencies keep the job queued but
+          invisible to the planner; a failed ``afterok`` cancels it;
+        * throttling — at most ``max_eligible_jobs_per_user`` queued jobs
+          per user are considered, and a user at the
+          ``max_running_jobs_per_user`` cap contributes no more eligible
+          jobs than the cap leaves headroom for.
+        """
+        eligible: list[Job] = []
+        for job in self.server.queue.snapshot():
+            if self.server.dependency_failed(job):
+                self.server.cancel_queued(job, reason="dependency failed")
+                continue
+            if self.server.dependency_satisfied(job):
+                eligible.append(job)
+        ordered = self.prioritizer.order(eligible, now)
+        max_running = self.config.max_running_jobs_per_user
+        max_eligible = self.config.max_eligible_jobs_per_user
+        if max_running is None and max_eligible is None:
+            return ordered
+        running_count: dict[str, int] = {}
+        for job in self.server.active_jobs():
+            running_count[job.user] = running_count.get(job.user, 0) + 1
+        taken: dict[str, int] = {}
+        throttled: list[Job] = []
+        for job in ordered:
+            user_taken = taken.get(job.user, 0)
+            if max_eligible is not None and user_taken >= max_eligible:
+                continue
+            if max_running is not None:
+                headroom = max_running - running_count.get(job.user, 0)
+                if user_taken >= headroom:
+                    continue
+            taken[job.user] = user_taken + 1
+            throttled.append(job)
+        return throttled
+
+    def _schedule_boundary_wake(self) -> None:
+        """Wake at the earliest planned reservation start (condition (ii)).
+
+        Normally job completions wake the scheduler in time to honour its
+        reservations, but a reservation can begin at a boundary with no
+        completion event — e.g. the end of a maintenance window.  One pending
+        wake at the earliest future reservation start covers every such case.
+        """
+        if self._boundary_wake is not None:
+            self._boundary_wake.cancel()
+            self._boundary_wake = None
+        if self._next_reservation_start is not None and (
+            self._next_reservation_start > self.engine.now
+        ):
+            self._boundary_wake = self.engine.at(
+                self._next_reservation_start, self._boundary_fire
+            )
+
+    def _boundary_fire(self) -> None:
+        self._boundary_wake = None
+        self.request_iteration()
+
+    def _update_statistics(self, now: float) -> None:
+        """Maui iteration step 4: accrue usage, roll accounting windows.
+
+        Usage is accrued per job over its overlap with the window since the
+        previous iteration — including jobs that finished *within* the
+        window, whose final segment would otherwise never be charged.  The
+        core count used is the job's latest allocation width (expansions are
+        charged at full width from the window start; a second-order
+        approximation that errs against the expanding user).
+        """
+        last = self._last_stats_time
+        if now > last:
+            for job in self.server.jobs.values():
+                if job.start_time is None or job.allocation is None:
+                    continue
+                seg_start = max(last, job.start_time)
+                seg_end = now if job.end_time is None else min(now, job.end_time)
+                if seg_end > seg_start:
+                    self.fairshare.add_usage(
+                        job.user, job.allocation.total_cores * (seg_end - seg_start)
+                    )
+        self._last_stats_time = now
+        self.fairshare.roll(now)
+        if self.dfs.roll(now):
+            self.trace.record(
+                now, EventKind.DFS_INTERVAL_ROLL, interval_start=self.dfs.interval_start
+            )
+
+    # ------------------------------------------------------------------
+    # dynamic requests (Algorithm 2 lines 11-24)
+    # ------------------------------------------------------------------
+    def _ordered_dynamic_requests(self) -> list[DynRequest]:
+        """Pending dynamic requests in the configured service order."""
+        pending = list(self.server.dyn_queue)
+        order = self.config.dynamic_request_order
+        if order == "fairshare":
+            pending.sort(
+                key=lambda d: (self.fairshare.usage(d.job.user), d.submit_time, d.job.seq)
+            )
+        elif order == "smallest_first":
+            pending.sort(
+                key=lambda d: (d.request.total_cores, d.submit_time, d.job.seq)
+            )
+        return pending
+
+    def _process_dynamic_requests(self, now: float) -> None:
+        for dreq in self._ordered_dynamic_requests():
+            wall_start = _time.perf_counter()
+            try:
+                self._handle_dynamic_request(dreq, now)
+            finally:
+                self.stats["dyn_handle_seconds"] += _time.perf_counter() - wall_start
+
+    def _handle_dynamic_request(self, dreq: DynRequest, now: float) -> None:
+        if dreq.is_extension:
+            self._handle_extension_request(dreq, now)
+            return
+        job = dreq.job
+        assert job.start_time is not None
+        claim_end = job.walltime_end
+        if claim_end <= now:
+            self._reject(dreq, "no walltime remaining", kind="resources")
+            return
+        blocked_nodes = self._admin_blocked_nodes(now, claim_end)
+        alloc = find_dynamic_allocation(
+            self.cluster, dreq.request, self.config, exclude_nodes=blocked_nodes
+        )
+        if alloc is None and self.config.malleable_steal_for_dynamic:
+            alloc = self._steal_from_malleable(dreq)
+        preempt_victims: list[Job] = []
+        if alloc is None and self.config.preemption_for_dynamic:
+            plan = plan_preemption(
+                self.cluster, dreq.request, self.server.active_jobs()
+            )
+            if plan is None:
+                self._deny(dreq, "insufficient resources", kind="resources", now=now)
+                return
+            preempt_victims = plan
+        elif alloc is None:
+            self._deny(dreq, "insufficient resources", kind="resources", now=now)
+            return
+
+        if preempt_victims:
+            # Preemption reclaims opportunistic backfill, governed by Maui's
+            # own preemption policy rather than DFS (which protects *queued*
+            # jobs); the victims rejoin the queue and benefit from DFS there.
+            for victim in preempt_victims:
+                self.server.preempt_job(victim)
+                self.stats["preemptions"] += 1
+            alloc = find_dynamic_allocation(self.cluster, dreq.request, self.config)
+            assert alloc is not None, "preemption plan did not free enough"
+            self._grant(dreq, alloc, victims=[], charged=0.0)
+            return
+
+        # measure delays against the queue as planned on the static partitions
+        partitions = static_partitions(self.config)
+        profile = self._build_profile(partitions)
+        ordered = self._eligible_static(now)
+        profile_nodes = set(self.cluster.free_by_node(partitions=partitions))
+        claim_inside = Allocation(
+            {n: c for n, c in alloc.items() if n in profile_nodes}
+        )
+        victims = (
+            measure_delays(
+                ordered, profile, claim_inside, claim_end, now, self.config.plan_depth
+            )
+            if not claim_inside.is_empty
+            else []
+        )
+        decision = self.dfs.evaluate(victims, job.user, now)
+        if decision:
+            charged = self.dfs.commit(victims, job.user)
+            self._grant(dreq, alloc, victims=victims, charged=charged)
+        else:
+            self._deny(dreq, decision.reason, kind="fairness", now=now)
+
+    def _steal_from_malleable(self, dreq: DynRequest) -> Allocation | None:
+        """Shrink running malleable jobs until the request fits (or give up).
+
+        Only flexible (``procs=N``) requests are served this way — a shaped
+        request needs whole nodes, which piecemeal shrinking cannot promise.
+        Jobs shrink latest-started-first so long-running malleable jobs keep
+        their width longest.
+        """
+        if dreq.request.is_shaped:
+            return None
+        from repro.jobs.job import JobFlexibility
+
+        candidates = [
+            j
+            for j in self.server.active_jobs()
+            if j.flexibility is JobFlexibility.MALLEABLE and j is not dreq.job
+        ]
+        candidates.sort(key=lambda j: (-(j.start_time or 0.0), j.seq))
+        partitions = static_partitions(self.config)
+        for job in candidates:
+            deficit = dreq.request.cores - sum(
+                self.cluster.free_by_node(partitions=partitions).values()
+            )
+            if deficit <= 0:
+                break
+            released = self.server.request_shrink(job, deficit)
+            if released:
+                self.stats["malleable_shrinks"] += 1
+        return find_dynamic_allocation(self.cluster, dreq.request, self.config)
+
+    def _admin_blocked_nodes(self, start: float, end: float) -> set[int]:
+        """Nodes with an admin reservation overlapping ``[start, end)``.
+
+        A dynamic grant holds until the evolving job's walltime end, so a
+        grant on these nodes would collide with the maintenance window.
+        """
+        blocked: set[int] = set()
+        for reservation in self.config.admin_reservations:
+            if reservation.overlaps(start, end):
+                blocked.update(reservation.cores_by_node)
+        return blocked
+
+    def _handle_extension_request(self, dreq: DynRequest, now: float) -> None:
+        """Walltime extension: the job keeps its own cores for longer.
+
+        The hypothetical reservation is the job's current allocation over
+        ``[old walltime end, new walltime end)`` — resources are trivially
+        "available" (the job already holds them); only fairness can refuse.
+        """
+        job = dreq.job
+        assert job.start_time is not None and job.allocation is not None
+        assert dreq.extend_walltime is not None
+        old_end = job.walltime_end
+        new_end = old_end + dreq.extend_walltime
+        partitions = static_partitions(self.config)
+        profile = self._build_profile(partitions)
+        ordered = self._eligible_static(now)
+        profile_nodes = set(self.cluster.free_by_node(partitions=partitions))
+        claim_inside = Allocation(
+            {n: c for n, c in job.allocation.items() if n in profile_nodes}
+        )
+        victims = (
+            measure_delays(
+                ordered,
+                profile,
+                claim_inside,
+                new_end,
+                now,
+                self.config.plan_depth,
+                claim_start=old_end,
+            )
+            if not claim_inside.is_empty
+            else []
+        )
+        decision = self.dfs.evaluate(victims, job.user, now)
+        if decision:
+            charged = self.dfs.commit(victims, job.user)
+            self.stats["dyn_granted"] += 1
+            self.stats["total_delay_charged"] += charged
+            self.server.grant_walltime_extension(dreq)
+        else:
+            self._reject(dreq, decision.reason, kind="fairness")
+
+    def _grant(self, dreq, alloc, *, victims, charged: float) -> None:
+        self.stats["dyn_granted"] += 1
+        self.stats["total_delay_charged"] += charged
+        self.server.grant_dynamic(dreq, alloc)
+
+    def _reject(self, dreq, reason: str, *, kind: str) -> None:
+        self.stats["dyn_rejected"] += 1
+        self.stats[f"dyn_rejected_{kind}"] += 1
+        self.server.reject_dynamic(dreq, reason)
+
+    def _deny(self, dreq: DynRequest, reason: str, *, kind: str, now: float) -> None:
+        """Reject — or, for a live negotiated request, defer with an estimate.
+
+        Negotiated requests (Section III-C outlook) stay in the dynamic
+        queue until their deadline; each denied attempt publishes the
+        scheduler's current earliest-availability estimate so the
+        application can plan around it.
+        """
+        if not dreq.negotiated or now >= (dreq.deadline or now):
+            self._reject(dreq, reason, kind=kind)
+            return
+        profile = self._build_profile(None)
+        try:
+            available_at, _alloc = profile.earliest_fit(dreq.request, 1.0, after=now)
+        except NoFitError:
+            self._reject(dreq, f"{reason}; request can never fit", kind=kind)
+            return
+        dreq.publish_estimate(available_at)
+
+    # ------------------------------------------------------------------
+    # static starts, reservations, backfill (Algorithm 2 lines 25-26)
+    # ------------------------------------------------------------------
+    def _start_static(
+        self, ordered: list[Job], now: float, lockdown: bool
+    ) -> tuple[int, int]:
+        """Start jobs in priority order; reserve for the top blocked jobs.
+
+        ``ReservationDepth`` bounds how many *blocked* jobs receive future
+        reservations — it never prevents a fitting job from starting.  Jobs
+        that start after any higher-priority job was passed over run out of
+        order and are therefore marked (and counted) as backfill; with
+        backfill disabled the pass stops at the first blocked job instead
+        (strict priority order).  Returns (priority starts, backfill starts).
+        """
+        partitions = static_partitions(self.config)
+        working = self._build_profile(partitions)
+        reservations = 0
+        started = 0
+        backfilled = 0
+        passed_blocked = False
+        self._next_reservation_start = None
+        for job in ordered:
+            alloc = working.fits_at(now, job.walltime, job.request)
+            if alloc is None and job.moldable_floor < job.request.total_cores:
+                # moldable job: start now on the largest fitting size within
+                # [min_cores, request) rather than wait for the full request
+                alloc = self._mold_to_fit(working, job, now)
+                if alloc is not None:
+                    self.stats["jobs_molded"] += 1
+            if alloc is not None:
+                working.add_claim(now, now + job.walltime, alloc)
+                # a start while a higher-priority job waits is out-of-order
+                # execution, i.e. backfill in Maui's terms
+                self.server.start_job(job, alloc, backfilled=passed_blocked)
+                if passed_blocked:
+                    self.stats["jobs_backfilled"] += 1
+                    backfilled += 1
+                else:
+                    self.stats["jobs_started"] += 1
+                    started += 1
+                continue
+            # blocked: reserve if within depth, then maybe stop the pass
+            if reservations < self.config.reservation_depth:
+                try:
+                    start, res_alloc = working.earliest_fit(
+                        job.request, job.walltime, after=now
+                    )
+                except NoFitError:
+                    continue  # oversized for this partition view; skip
+                working.add_claim(start, start + job.walltime, res_alloc)
+                reservations += 1
+                if (
+                    self._next_reservation_start is None
+                    or start < self._next_reservation_start
+                ):
+                    self._next_reservation_start = start
+                self.stats["reservations_created"] += 1
+                self.trace.record(
+                    now,
+                    EventKind.RESERVATION_CREATE,
+                    job_id=job.job_id,
+                    start=start,
+                    cores=res_alloc.total_cores,
+                )
+            passed_blocked = True
+            if job.top_priority or not self.config.backfill_enabled or lockdown:
+                # ESP Z-job lockdown, or strict priority order without
+                # backfill: nothing below the blocked job may start
+                break
+        return started, backfilled
+
+    def explain(self, job: Job) -> dict:
+        """Why is this job where it is?  (Maui's ``checkjob`` equivalent.)
+
+        Returns a dict with the job's state, queue position, current
+        priority, planned earliest start from a fresh plan, and — for
+        queued jobs — what is holding it back (dependency, throttling, or
+        resources).  Read-only: no reservation or start side effects.
+        """
+        now = self.engine.now
+        info: dict = {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "priority": None,
+            "queue_position": None,
+            "planned_start": None,
+            "blocked_by": None,
+        }
+        if job.submit_time is not None:
+            info["priority"] = self.prioritizer.priority(job, now)
+        if job.is_active:
+            info["planned_start"] = job.start_time
+            return info
+        if job.is_finished or job.submit_time is None:
+            return info
+        eligible = self._eligible_static(now)
+        if job not in eligible:
+            if not self.server.dependency_satisfied(job):
+                info["blocked_by"] = f"dependency on {job.depends_on}"
+            else:
+                info["blocked_by"] = "throttling policy"
+            return info
+        info["queue_position"] = eligible.index(job)
+        from repro.maui.reservations import plan_static
+
+        profile = self._build_profile(static_partitions(self.config))
+        plan = plan_static(
+            eligible, profile, now, depth=max(self.config.plan_depth, len(eligible))
+        )
+        starts = plan.starts_by_job()
+        if job.job_id in starts:
+            info["planned_start"] = starts[job.job_id]
+            if starts[job.job_id] > now:
+                info["blocked_by"] = "resources"
+        else:
+            info["blocked_by"] = "request can never fit"
+        return info
+
+    @staticmethod
+    def _mold_to_fit(working, job, now):
+        """Largest core count in [moldable_floor, request) fitting right now.
+
+        Feasibility is monotone in the size, so binary search over the
+        flexible request.  Returns None when even the floor does not fit.
+        """
+        from repro.cluster.allocation import ResourceRequest
+
+        lo, hi = job.moldable_floor, job.request.total_cores - 1
+        if working.fits_at(now, job.walltime, ResourceRequest(cores=lo)) is None:
+            return None
+        best = lo
+        while lo <= hi:
+            mid = (lo + hi + 1) // 2
+            if working.fits_at(now, job.walltime, ResourceRequest(cores=mid)) is not None:
+                best = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return working.fits_at(now, job.walltime, ResourceRequest(cores=best))
+
+    def __repr__(self) -> str:
+        return (
+            f"<MauiScheduler iterations={self.stats['iterations']} "
+            f"granted={self.stats['dyn_granted']} rejected={self.stats['dyn_rejected']}>"
+        )

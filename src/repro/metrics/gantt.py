@@ -1,0 +1,107 @@
+"""ASCII Gantt charts of node occupancy over time.
+
+Rendering the schedule makes dynamic-allocation behaviour visible at a
+glance: expansions appear as a job's letter spreading to more node rows
+mid-run.  Used by examples and handy when debugging scheduler changes.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Cluster
+from repro.sim.events import EventKind, TraceLog
+
+__all__ = ["render_gantt"]
+
+_OCCUPY = (EventKind.JOB_START, EventKind.BACKFILL_START, EventKind.DYN_GRANT)
+_VACATE = (EventKind.JOB_END, EventKind.JOB_ABORT, EventKind.PREEMPT)
+
+
+def render_gantt(
+    trace: TraceLog,
+    cluster: Cluster,
+    *,
+    width: int = 72,
+    until: float | None = None,
+    labels: dict[str, str] | None = None,
+) -> str:
+    """One row per node, one column per time bucket.
+
+    Each cell shows the label of the job holding cores on that node during
+    the bucket — ``.`` for idle, ``*`` when several jobs share the node.
+    ``labels`` maps job_id to a single display character; unlabelled jobs
+    cycle through a-z/A-Z.
+    """
+    # reconstruct per-node occupancy intervals from the trace;
+    # holds: job -> node -> (acquire time, cores held) so a *partial*
+    # release keeps the job visible on the node until its last core leaves
+    holds: dict[str, dict[int, tuple[float, int]]] = {}
+    intervals: dict[int, list[tuple[float, float, str]]] = {
+        n.index: [] for n in cluster.nodes
+    }
+    t_end = 0.0
+    for event in trace:
+        t_end = max(t_end, event.time)
+        job_id = event.payload.get("job_id")
+        by_node = event.payload.get("cores_by_node")
+        if by_node is None:
+            by_node = {n: 1 for n in event.payload.get("nodes", [])}
+        if event.kind in _OCCUPY:
+            job_holds = holds.setdefault(job_id, {})
+            for node, count in by_node.items():
+                start, held = job_holds.get(node, (event.time, 0))
+                job_holds[node] = (start, held + count)
+        elif event.kind is EventKind.DYN_RELEASE:
+            job_holds = holds.get(job_id, {})
+            for node, count in by_node.items():
+                if node not in job_holds:
+                    continue
+                start, held = job_holds[node]
+                if held - count <= 0:
+                    del job_holds[node]
+                    intervals[node].append((start, event.time, job_id))
+                else:
+                    job_holds[node] = (start, held - count)
+        elif event.kind in _VACATE:
+            for node, (start, _held) in holds.pop(job_id, {}).items():
+                intervals[node].append((start, event.time, job_id))
+    for job_id, nodes in holds.items():  # still running at trace end
+        for node, (start, _held) in nodes.items():
+            intervals[node].append((start, t_end, job_id))
+
+    horizon = until if until is not None else t_end
+    if horizon <= 0:
+        return "(empty schedule)"
+    bucket = horizon / width
+
+    labels = dict(labels or {})
+    alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    next_label = 0
+
+    def label_of(job_id: str) -> str:
+        nonlocal next_label
+        if job_id not in labels:
+            labels[job_id] = alphabet[next_label % len(alphabet)]
+            next_label += 1
+        return labels[job_id]
+
+    lines = [f"time 0 .. {horizon:.0f}s, {bucket:.0f}s per column"]
+    for node in cluster.nodes:
+        row = []
+        for b in range(width):
+            t0, t1 = b * bucket, (b + 1) * bucket
+            present = {
+                job_id
+                for start, end, job_id in intervals[node.index]
+                if start < t1 and end > t0
+            }
+            if not present:
+                cell = "."
+            elif len(present) == 1:
+                cell = label_of(next(iter(present)))
+            else:
+                cell = "*"  # node shared by several jobs in this bucket
+            row.append(cell)
+        lines.append(f"{node.name} |{''.join(row)}|")
+    legend = ", ".join(f"{v}={k}" for k, v in sorted(labels.items(), key=lambda x: x[1]))
+    lines.append(f"legend: {legend}, *=shared" if legend else "legend: (no jobs)")
+    return "\n".join(lines)

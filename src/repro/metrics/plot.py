@@ -1,0 +1,81 @@
+"""Terminal scatter/line plots for the waiting-time figures.
+
+The paper's Figures 8-11 are per-job waiting-time curves; a table conveys
+the numbers but not the *shape* (the mid-range bump under Dyn-HP is the
+paper's whole point).  This renderer draws multiple series on a character
+grid with axes — dependency-free and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_xy_plot", "SERIES_MARKS"]
+
+#: marker characters assigned to series in declaration order
+SERIES_MARKS = "ox+*#@%&"
+
+
+def render_xy_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 78,
+    height: int = 20,
+) -> str:
+    """Plot named (x, y) series on one character grid.
+
+    Cells covered by several series show the *later-declared* series' mark,
+    so list the baseline first and the curve of interest last.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("plot too small to be legible")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        return height - 1 - row, col
+
+    for (name, pts), mark in zip(series.items(), SERIES_MARKS):
+        for x, y in pts:
+            r, c = cell(x, y)
+            grid[r][c] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{mark}={name}" for (name, _), mark in zip(series.items(), SERIES_MARKS)
+    )
+    lines.append(f"{y_label} ({legend})")
+    top_label = f"{y_max:.0f}"
+    bottom_label = f"{y_min:.0f}"
+    margin = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * margin + " +" + "-" * width + "+")
+    x_left = f"{x_min:.0f}"
+    x_right = f"{x_max:.0f}"
+    gap = width - len(x_left) - len(x_right)
+    lines.append(" " * (margin + 2) + x_left + " " * max(1, gap) + x_right)
+    lines.append(" " * (margin + 2) + x_label)
+    return "\n".join(lines)

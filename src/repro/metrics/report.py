@@ -1,0 +1,80 @@
+"""Plain-text renderers for tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting consistent and dependency-free (terminal ASCII,
+no plotting stack required).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "render_histogram_row"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        cells = []
+        for i, cell in enumerate(row):
+            if _is_numeric(cell):
+                cells.append(cell.rjust(widths[i]))
+            else:
+                cells.append(cell.ljust(widths[i]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    points: Sequence[tuple[float, float]],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int | None = None,
+) -> str:
+    """A named (x, y) series as aligned columns, optionally subsampled."""
+    pts = list(points)
+    note = ""
+    if max_points is not None and len(pts) > max_points:
+        step = max(1, len(pts) // max_points)
+        pts = pts[::step]
+        note = f"  (every {step}th of {len(points)} points)"
+    lines = [f"{name}{note}", f"{x_label:>10}  {y_label:>12}"]
+    for x, y in pts:
+        lines.append(f"{_fmt(x):>10}  {_fmt(y):>12}")
+    return "\n".join(lines)
+
+
+def render_histogram_row(label: str, value: float, scale: float, width: int = 50) -> str:
+    """One ASCII bar, for quick visual shape checks in bench output."""
+    filled = 0 if scale <= 0 else int(round(width * min(1.0, value / scale)))
+    return f"{label:<18} |{'#' * filled}{' ' * (width - filled)}| {_fmt(value)}"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 1e12:
+            return f"{int(cell)}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False

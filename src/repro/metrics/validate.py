@@ -1,0 +1,86 @@
+"""Trace validation: global consistency checks over an event log.
+
+A simulation bug usually surfaces as an *inconsistent trace* long before it
+surfaces as a wrong headline number.  :func:`validate_trace` replays the
+event log against the physical constraints of the machine and the job
+lifecycle state machine and returns every violation found (empty list =
+consistent).  The integration tests run it after every end-to-end scenario.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Cluster
+from repro.sim.events import EventKind, TraceLog
+
+__all__ = ["validate_trace"]
+
+_START_KINDS = (EventKind.JOB_START, EventKind.BACKFILL_START)
+_END_KINDS = (EventKind.JOB_END, EventKind.JOB_ABORT, EventKind.PREEMPT)
+
+
+def validate_trace(trace: TraceLog, cluster: Cluster) -> list[str]:
+    """All invariant violations in the trace (empty = consistent).
+
+    Checks:
+
+    * event times never decrease;
+    * busy cores never negative and never exceed installed capacity;
+    * per-job lifecycle: submit → (start → end)* with no double-start,
+      no end without start, no grant/release while not running;
+    * every grant's nodes exist in the cluster.
+    """
+    problems: list[str] = []
+    last_time = float("-inf")
+    busy = 0
+    total = cluster.total_cores
+    running: set[str] = set()
+    submitted: set[str] = set()
+
+    for event in trace:
+        if event.time < last_time:
+            problems.append(
+                f"time went backwards: {event!r} after t={last_time:.2f}"
+            )
+        last_time = event.time
+        job_id = event.payload.get("job_id")
+        cores = event.payload.get("cores", 0)
+
+        if event.kind is EventKind.JOB_SUBMIT:
+            if job_id in submitted:
+                problems.append(f"{job_id} submitted twice")
+            submitted.add(job_id)
+        elif event.kind in _START_KINDS:
+            if job_id not in submitted:
+                problems.append(f"{job_id} started without submission")
+            if job_id in running:
+                problems.append(f"{job_id} started while already running")
+            running.add(job_id)
+            busy += cores
+        elif event.kind in _END_KINDS:
+            if job_id in running:
+                running.discard(job_id)
+                busy -= cores
+            elif cores:
+                problems.append(f"{job_id} released {cores} cores while not running")
+        elif event.kind is EventKind.DYN_GRANT:
+            if job_id not in running:
+                problems.append(f"{job_id} granted cores while not running")
+            busy += cores
+            for node in event.payload.get("nodes", []):
+                if node not in {n.index for n in cluster.nodes}:
+                    problems.append(f"grant to {job_id} names unknown node {node}")
+        elif event.kind is EventKind.DYN_RELEASE:
+            if job_id not in running:
+                problems.append(f"{job_id} released cores while not running")
+            busy -= cores
+
+        if busy < 0:
+            problems.append(f"negative busy cores ({busy}) at t={event.time:.2f}")
+        if busy > total:
+            problems.append(
+                f"busy cores {busy} exceed capacity {total} at t={event.time:.2f}"
+            )
+
+    for job_id in sorted(running):
+        problems.append(f"{job_id} still running at end of trace")
+    return problems

@@ -1,0 +1,129 @@
+"""``pbs_mom`` daemons and the mother-superior role.
+
+In real Torque every compute node runs a mom; the first node of a job's
+allocation acts as *mother superior*, coordinating the ``join`` of all
+allocated nodes at job start and — in the paper's extension — the
+``dyn_join`` / ``dyn_disjoin`` operations when the allocation grows or
+shrinks at runtime (Figures 3 and 4).  Here moms are bookkeeping objects:
+they track which jobs occupy which nodes and validate the join protocol, so
+tests can assert that the node-side view never diverges from the server's.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.machine import Cluster
+from repro.jobs.job import Job
+
+__all__ = ["Mom", "MomManager"]
+
+
+class Mom:
+    """The node daemon: knows which jobs hold cores on its node."""
+
+    def __init__(self, node_index: int, cores: int) -> None:
+        self.node_index = node_index
+        self.cores = cores
+        #: job_id -> cores held by that job on this node
+        self.jobs: dict[str, int] = {}
+
+    @property
+    def used(self) -> int:
+        return sum(self.jobs.values())
+
+    def attach(self, job: Job, cores: int) -> None:
+        if cores <= 0:
+            raise ValueError("attach needs a positive core count")
+        if self.used + cores > self.cores:
+            raise RuntimeError(
+                f"mom on node {self.node_index}: join would oversubscribe "
+                f"({self.used}+{cores}>{self.cores})"
+            )
+        self.jobs[job.job_id] = self.jobs.get(job.job_id, 0) + cores
+
+    def detach(self, job: Job, cores: int | None = None) -> int:
+        """Remove ``cores`` of ``job`` (all of them when None).  Returns freed."""
+        held = self.jobs.get(job.job_id, 0)
+        if held == 0:
+            raise RuntimeError(
+                f"mom on node {self.node_index}: {job.job_id} not present"
+            )
+        take = held if cores is None else cores
+        if take > held:
+            raise RuntimeError(
+                f"mom on node {self.node_index}: disjoin of {take} cores but "
+                f"{job.job_id} holds {held}"
+            )
+        remaining = held - take
+        if remaining:
+            self.jobs[job.job_id] = remaining
+        else:
+            del self.jobs[job.job_id]
+        return take
+
+    def __repr__(self) -> str:
+        return f"<Mom node{self.node_index:03d} {self.used}/{self.cores} {list(self.jobs)}>"
+
+
+class MomManager:
+    """All moms of the cluster plus the join/disjoin protocol."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.moms: dict[int, Mom] = {
+            node.index: Mom(node.index, node.cores) for node in cluster.nodes
+        }
+        #: job_id -> mother superior node index
+        self.mother_superior: dict[str, int] = {}
+
+    def join(self, job: Job, allocation: Allocation) -> int:
+        """Initial job launch: all allocated nodes join; returns the MS node."""
+        if job.job_id in self.mother_superior:
+            raise RuntimeError(f"{job.job_id} already joined")
+        if allocation.is_empty:
+            raise ValueError("cannot join an empty allocation")
+        for idx, count in allocation.items():
+            self.moms[idx].attach(job, count)
+        ms = min(allocation.node_indices)
+        self.mother_superior[job.job_id] = ms
+        return ms
+
+    def dyn_join(self, job: Job, extra: Allocation) -> None:
+        """Dynamic expansion: newly granted nodes join the existing job."""
+        if job.job_id not in self.mother_superior:
+            raise RuntimeError(f"{job.job_id} not running; cannot dyn_join")
+        for idx, count in extra.items():
+            self.moms[idx].attach(job, count)
+
+    def dyn_disjoin(self, job: Job, released: Allocation) -> None:
+        """Dynamic release of a subset of the job's allocation.
+
+        Unlike SLURM's expand/shrink (paper Section V), any subset may be
+        released — but never the mother superior's last core, since the MS
+        coordinates the remaining processes.
+        """
+        if job.job_id not in self.mother_superior:
+            raise RuntimeError(f"{job.job_id} not running; cannot dyn_disjoin")
+        ms = self.mother_superior[job.job_id]
+        ms_held = self.moms[ms].jobs.get(job.job_id, 0)
+        if released[ms] >= ms_held:
+            raise RuntimeError(
+                f"{job.job_id}: cannot release all cores of mother superior node {ms}"
+            )
+        for idx, count in released.items():
+            self.moms[idx].detach(job, count)
+
+    def exit(self, job: Job) -> None:
+        """Job termination: every node holding the job detaches."""
+        if job.job_id not in self.mother_superior:
+            raise RuntimeError(f"{job.job_id} not running; cannot exit")
+        for mom in self.moms.values():
+            if job.job_id in mom.jobs:
+                mom.detach(job)
+        del self.mother_superior[job.job_id]
+
+    def cores_held(self, job: Job) -> int:
+        return sum(m.jobs.get(job.job_id, 0) for m in self.moms.values())
+
+    def __repr__(self) -> str:
+        active = sum(1 for m in self.moms.values() if m.jobs)
+        return f"<MomManager {len(self.moms)} moms, {active} busy>"

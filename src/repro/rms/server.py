@@ -1,0 +1,586 @@
+"""The ``pbs_server``: job queues, lifecycle, and the dynamic-request path.
+
+The server owns all job state transitions.  The scheduler (a separate
+component, as in Torque/Maui) decides *what* to run and calls back into the
+server to actually start jobs, grant or reject dynamic requests, and preempt
+backfilled jobs.  Every transition is recorded in the shared trace log.
+
+Workflow for a dynamic allocation (paper Fig. 3):
+
+1. application calls ``tm_dynget`` on its :class:`~repro.rms.tm.TMContext`
+2. the mother superior forwards it here → job enters ``dynqueued``,
+   a :class:`~repro.jobs.queue.DynRequest` is appended to the FIFO dynamic
+   queue, and a scheduling cycle is triggered
+3. the scheduler resolves the request via :meth:`Server.grant_dynamic` or
+   :meth:`Server.reject_dynamic`; on grant the new nodes ``dyn_join`` and the
+   application receives the expanded hostlist.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.machine import Cluster
+from repro.jobs.job import Job, JobState
+from repro.jobs.queue import DynRequest, JobQueue
+from repro.rms.mom import MomManager
+from repro.rms.tm import TMContext
+from repro.sim.engine import Engine, EventHandle, PRIORITY_LIMIT
+from repro.sim.events import EventKind, TraceLog
+
+__all__ = ["Server", "Application"]
+
+
+class Application(Protocol):
+    """Anything that can run inside a job.
+
+    ``launch`` is called each time the job (re)starts — after a preemption
+    the application starts over, so implementations must reset their state on
+    every call.
+    """
+
+    def launch(self, ctx: TMContext) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Server:
+    """The resource manager server daemon."""
+
+    def __init__(self, engine: Engine, cluster: Cluster, trace: TraceLog | None = None) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        self.trace = trace if trace is not None else TraceLog()
+        self.moms = MomManager(cluster)
+        self.queue = JobQueue()
+        #: FIFO of unresolved dynamic requests (paper: prioritised FIFO).
+        self.dyn_queue: list[DynRequest] = []
+        self.jobs: dict[str, Job] = {}
+        self._apps: dict[str, Application | None] = {}
+        self._contexts: dict[str, TMContext] = {}
+        self._walltime_limits: dict[str, EventHandle] = {}
+        #: invoked (coalesced by the scheduler) whenever job/resource state
+        #: changes — the Maui wake-up condition (i) of Section III-A.
+        self.on_state_change: Callable[[], None] | None = None
+
+    # ------------------------------------------------------------------
+    def _notify(self) -> None:
+        if self.on_state_change is not None:
+            self.on_state_change()
+
+    def active_jobs(self) -> list[Job]:
+        """Jobs currently holding resources, in start order."""
+        active = [j for j in self.jobs.values() if j.is_active]
+        active.sort(key=lambda j: (j.start_time, j.seq))
+        return active
+
+    def dependency_satisfied(self, job: Job) -> bool:
+        """Is this job's dependency (if any) fulfilled?
+
+        An unknown dependency target counts as unsatisfied — a dangling
+        ``afterok`` must hold the job back, not release it.  A dependency on
+        a failed job is *never* satisfiable under ``afterok``; callers may
+        use :meth:`dependency_failed` to cancel such jobs.
+        """
+        if job.depends_on is None:
+            return True
+        target = self.jobs.get(job.depends_on)
+        if target is None:
+            return False
+        if job.dependency_type == "after":
+            return target.start_time is not None
+        if job.dependency_type == "afterok":
+            return target.state is JobState.COMPLETED
+        return target.is_finished  # afterany
+
+    def dependency_failed(self, job: Job) -> bool:
+        """True when the dependency can no longer ever be satisfied."""
+        if job.depends_on is None:
+            return False
+        target = self.jobs.get(job.depends_on)
+        return (
+            job.dependency_type == "afterok"
+            and target is not None
+            and target.state is JobState.ABORTED
+        )
+
+    # ------------------------------------------------------------------
+    # submission (qsub)
+    # ------------------------------------------------------------------
+    def submit(self, job: Job, app: Application | None = None) -> Job:
+        """Queue a job.  ``app`` defaults to "run for the full walltime"."""
+        if job.job_id in self.jobs:
+            raise ValueError(f"{job.job_id} already submitted")
+        job.submit_time = self.engine.now
+        job.state = JobState.QUEUED
+        self.jobs[job.job_id] = job
+        self._apps[job.job_id] = app
+        self.queue.push(job)
+        self.trace.record(
+            self.engine.now,
+            EventKind.JOB_SUBMIT,
+            job_id=job.job_id,
+            user=job.user,
+            request=str(job.request),
+            walltime=job.walltime,
+            evolving=job.is_evolving,
+        )
+        self._notify()
+        return job
+
+    # ------------------------------------------------------------------
+    # start / completion (driven by the scheduler and applications)
+    # ------------------------------------------------------------------
+    def start_job(self, job: Job, allocation: Allocation, *, backfilled: bool = False) -> None:
+        """Start a queued job on the given allocation (scheduler's ``qrun``)."""
+        if job.state is not JobState.QUEUED:
+            raise RuntimeError(f"{job.job_id} is {job.state.value}, cannot start")
+        if allocation.total_cores < job.moldable_floor:
+            raise RuntimeError(
+                f"{job.job_id} allocation {allocation.total_cores}c smaller than "
+                f"the acceptable minimum {job.moldable_floor}c"
+            )
+        self.cluster.claim(allocation)
+        self.queue.remove(job)
+        job.state = JobState.RUNNING
+        job.start_time = self.engine.now
+        job.allocation = allocation
+        job.backfilled = backfilled
+        ms = self.moms.join(job, allocation)
+        self.trace.record(
+            self.engine.now,
+            EventKind.BACKFILL_START if backfilled else EventKind.JOB_START,
+            job_id=job.job_id,
+            user=job.user,
+            cores=allocation.total_cores,
+            nodes=list(allocation.node_indices),
+            cores_by_node=dict(allocation.items()),
+            mother_superior=ms,
+            wait=job.wait_time,
+        )
+        # walltime enforcement: the job is killed when its time slice expires
+        self._walltime_limits[job.job_id] = self.engine.after(
+            job.walltime, self._walltime_expired, job, priority=PRIORITY_LIMIT
+        )
+        ctx = TMContext(self, job)
+        self._contexts[job.job_id] = ctx
+        app = self._apps[job.job_id]
+        if app is not None:
+            app.launch(ctx)
+        else:
+            ctx.after(job.walltime, ctx.finish)
+        self._notify()
+
+    def complete_job(self, job: Job) -> None:
+        """Normal completion, reported by the application through TM."""
+        self._teardown(job, JobState.COMPLETED, EventKind.JOB_END)
+        self._notify()
+
+    def _walltime_expired(self, job: Job) -> None:
+        if not job.is_active:
+            return
+        self._teardown(job, JobState.ABORTED, EventKind.JOB_ABORT, reason="walltime")
+        self._notify()
+
+    def abort_job(self, job: Job, reason: str) -> None:
+        """Abnormal termination requested by the application or operator."""
+        self._teardown(job, JobState.ABORTED, EventKind.JOB_ABORT, reason=reason)
+        self._notify()
+
+    def cancel_queued(self, job: Job, reason: str = "cancelled") -> None:
+        """Remove a queued job before it ever starts (``qdel``)."""
+        if job.state is not JobState.QUEUED:
+            raise RuntimeError(f"{job.job_id} is {job.state.value}, not queued")
+        self.queue.remove(job)
+        job.state = JobState.ABORTED
+        job.end_time = self.engine.now
+        self.trace.record(
+            self.engine.now,
+            EventKind.JOB_ABORT,
+            job_id=job.job_id,
+            user=job.user,
+            cores=0,
+            runtime=0.0,
+            reason=reason,
+        )
+
+    def _teardown(self, job: Job, state: JobState, kind: EventKind, **extra) -> None:
+        if not job.is_active:
+            raise RuntimeError(f"{job.job_id} is {job.state.value}, cannot tear down")
+        # a pending dynamic request dies with the job
+        for dreq in [d for d in self.dyn_queue if d.job is job]:
+            self.dyn_queue.remove(dreq)
+        limit = self._walltime_limits.pop(job.job_id, None)
+        if limit is not None:
+            limit.cancel()
+        ctx = self._contexts.pop(job.job_id)
+        ctx._cancel_all_timers()
+        assert job.allocation is not None
+        self.moms.exit(job)
+        self.cluster.release(job.allocation)
+        job.state = state
+        job.end_time = self.engine.now
+        self.trace.record(
+            self.engine.now,
+            kind,
+            job_id=job.job_id,
+            user=job.user,
+            cores=job.allocation.total_cores,
+            runtime=job.end_time - (job.start_time or job.end_time),
+            **extra,
+        )
+
+    # ------------------------------------------------------------------
+    # dynamic allocation path
+    # ------------------------------------------------------------------
+    def dyn_request(
+        self,
+        job: Job,
+        request: ResourceRequest,
+        callback: Callable[[Allocation | None], None],
+        *,
+        timeout: float | None = None,
+        on_estimate: Callable[[float], None] | None = None,
+    ) -> DynRequest:
+        """Queue a runtime resource request (job → ``dynqueued``).
+
+        With ``timeout`` (seconds from now) the request uses the negotiation
+        protocol: it stays queued until resources arrive or the deadline
+        passes, and ``on_estimate`` receives the scheduler's availability
+        estimates along the way.
+        """
+        if job.state is not JobState.RUNNING:
+            raise RuntimeError(
+                f"{job.job_id} is {job.state.value}; dynamic request needs RUNNING"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"negotiation timeout must be positive: {timeout}")
+        job.state = JobState.DYNQUEUED
+        deadline = None if timeout is None else self.engine.now + timeout
+        dreq = DynRequest(
+            job=job,
+            request=request,
+            submit_time=self.engine.now,
+            callback=callback,
+            deadline=deadline,
+            on_estimate=on_estimate,
+        )
+        self.dyn_queue.append(dreq)
+        if deadline is not None:
+            self.engine.at(deadline, self._negotiation_expired, dreq)
+        self.trace.record(
+            self.engine.now,
+            EventKind.DYN_REQUEST,
+            job_id=job.job_id,
+            user=job.user,
+            request=str(request),
+            negotiated=dreq.negotiated,
+        )
+        self._notify()
+        return dreq
+
+    def extend_walltime_request(
+        self,
+        job: Job,
+        extra_seconds: float,
+        callback: Callable[[Allocation | None], None],
+    ) -> DynRequest:
+        """Ask for more *time* on the current allocation (Kumar et al. [23]).
+
+        Queued like a dynamic resource request; the scheduler measures the
+        delay the longer reservation would cause to planned jobs and applies
+        the same DFS policies.  On grant the callback receives the job's own
+        (unchanged) allocation; on rejection, None.
+        """
+        if job.state is not JobState.RUNNING:
+            raise RuntimeError(
+                f"{job.job_id} is {job.state.value}; extension needs RUNNING"
+            )
+        if extra_seconds <= 0:
+            raise ValueError(f"extension must be positive: {extra_seconds}")
+        job.state = JobState.DYNQUEUED
+        dreq = DynRequest(
+            job=job,
+            request=None,
+            submit_time=self.engine.now,
+            callback=callback,
+            extend_walltime=extra_seconds,
+        )
+        self.dyn_queue.append(dreq)
+        self.trace.record(
+            self.engine.now,
+            EventKind.DYN_REQUEST,
+            job_id=job.job_id,
+            user=job.user,
+            request=f"walltime+{extra_seconds:.0f}s",
+            negotiated=False,
+        )
+        self._notify()
+        return dreq
+
+    def grant_walltime_extension(self, dreq: DynRequest) -> None:
+        """Extend the job's time slice (the extension analogue of a grant)."""
+        job = dreq.job
+        if dreq not in self.dyn_queue:
+            raise RuntimeError(f"{dreq!r} is not pending")
+        assert dreq.extend_walltime is not None
+        self.dyn_queue.remove(dreq)
+        job.walltime += dreq.extend_walltime
+        # move the kill switch to the new limit
+        limit = self._walltime_limits.pop(job.job_id, None)
+        if limit is not None:
+            limit.cancel()
+        assert job.start_time is not None
+        self._walltime_limits[job.job_id] = self.engine.at(
+            job.walltime_end, self._walltime_expired, job, priority=PRIORITY_LIMIT
+        )
+        job.state = JobState.RUNNING
+        job.dyn_granted += 1
+        self.trace.record(
+            self.engine.now,
+            EventKind.DYN_GRANT,
+            job_id=job.job_id,
+            user=job.user,
+            cores=0,
+            nodes=[],
+            walltime_extension=dreq.extend_walltime,
+            new_walltime=job.walltime,
+        )
+        dreq.resolve(job.allocation)
+        self._notify()
+
+    def _negotiation_expired(self, dreq: DynRequest) -> None:
+        if dreq.resolved or dreq not in self.dyn_queue:
+            return
+        self.reject_dynamic(dreq, "negotiation timeout")
+
+    def grant_dynamic(self, dreq: DynRequest, allocation: Allocation) -> None:
+        """Expand the job's allocation (scheduler decided the request is fair)."""
+        job = dreq.job
+        if dreq not in self.dyn_queue:
+            raise RuntimeError(f"{dreq!r} is not pending")
+        self.cluster.claim(allocation)
+        self.dyn_queue.remove(dreq)
+        self.moms.dyn_join(job, allocation)
+        assert job.allocation is not None
+        job.allocation = job.allocation + allocation
+        job.state = JobState.RUNNING
+        job.dyn_granted += 1
+        self.trace.record(
+            self.engine.now,
+            EventKind.DYN_GRANT,
+            job_id=job.job_id,
+            user=job.user,
+            cores=allocation.total_cores,
+            nodes=list(allocation.node_indices),
+            cores_by_node=dict(allocation.items()),
+            total_cores=job.allocation.total_cores,
+        )
+        dreq.resolve(allocation)
+        self._notify()
+
+    def reject_dynamic(self, dreq: DynRequest, reason: str = "") -> None:
+        """Reject the request; the application continues on its current set."""
+        job = dreq.job
+        if dreq not in self.dyn_queue:
+            raise RuntimeError(f"{dreq!r} is not pending")
+        self.dyn_queue.remove(dreq)
+        job.state = JobState.RUNNING
+        job.dyn_rejected += 1
+        self.trace.record(
+            self.engine.now,
+            EventKind.DYN_REJECT,
+            job_id=job.job_id,
+            user=job.user,
+            request=str(dreq.request),
+            reason=reason,
+        )
+        dreq.resolve(None)
+        # no notify: a rejection frees nothing and starts nothing
+
+    def dyn_free(self, job: Job, released: Allocation) -> None:
+        """Release part of a running job's allocation (``tm_dynfree``)."""
+        if not job.is_active:
+            raise RuntimeError(f"{job.job_id} is not active")
+        self.moms.dyn_disjoin(job, released)
+        assert job.allocation is not None
+        job.allocation = job.allocation - released
+        self.cluster.release(released)
+        self.trace.record(
+            self.engine.now,
+            EventKind.DYN_RELEASE,
+            job_id=job.job_id,
+            user=job.user,
+            cores=released.total_cores,
+            nodes=list(released.node_indices),
+            cores_by_node=dict(released.items()),
+            total_cores=job.allocation.total_cores,
+        )
+        self._notify()
+
+    def request_shrink(self, job: Job, cores_wanted: int) -> int:
+        """Ask a running malleable job to give back up to ``cores_wanted``.
+
+        Returns the number of cores actually released (0 when the job has no
+        shrink handler or cannot afford any).  This is the batch-system side
+        of malleability (paper Sections I and II-B): the *scheduler*
+        initiates the operation, the application decides how much it can
+        shed and performs the release through ``tm_dynfree``.
+        """
+        if not job.is_active:
+            raise RuntimeError(f"{job.job_id} is not active")
+        if cores_wanted <= 0:
+            raise ValueError(f"cores_wanted must be positive: {cores_wanted}")
+        ctx = self._contexts.get(job.job_id)
+        if ctx is None or ctx.shrink_handler is None:
+            return 0
+        assert job.allocation is not None
+        before = job.allocation.total_cores
+        released = ctx.shrink_handler(cores_wanted)
+        actual = before - job.allocation.total_cores
+        if released != actual:
+            raise RuntimeError(
+                f"{job.job_id}: shrink handler reported {released} cores "
+                f"but released {actual}"
+            )
+        return actual
+
+    def merge_allocations(self, stub: Job, parent: Job) -> Allocation:
+        """Fold a running helper job's allocation into another running job.
+
+        This is the SLURM expand/shrink idiom the paper contrasts with its
+        own design (Section V): the application submits a *dependent* job
+        sized like the desired expansion; once that job starts, its
+        allocation is merged into the parent and the helper terminates.
+        Returns the transferred allocation.
+        """
+        if stub is parent:
+            raise ValueError("cannot merge a job into itself")
+        if not stub.is_active or not parent.is_active:
+            raise RuntimeError("both jobs must be running to merge")
+        assert stub.allocation is not None and parent.allocation is not None
+        transferred = stub.allocation
+        # node-side: helper processes exit, parent spans the new nodes
+        self.moms.exit(stub)
+        self.moms.dyn_join(parent, transferred)
+        # cluster core counts are unchanged: ownership moves, usage doesn't
+        limit = self._walltime_limits.pop(stub.job_id, None)
+        if limit is not None:
+            limit.cancel()
+        ctx = self._contexts.pop(stub.job_id)
+        ctx._cancel_all_timers()
+        stub.state = JobState.COMPLETED
+        stub.end_time = self.engine.now
+        stub.allocation = None
+        parent.allocation = parent.allocation + transferred
+        parent.dyn_granted += 1
+        # cores=0: the busy-core ledger already counts the transferred cores
+        # from the stub's start event; the parent's end event releases them.
+        self.trace.record(
+            self.engine.now,
+            EventKind.JOB_END,
+            job_id=stub.job_id,
+            user=stub.user,
+            cores=0,
+            runtime=stub.end_time - (stub.start_time or stub.end_time),
+            merged_into=parent.job_id,
+        )
+        self.trace.record(
+            self.engine.now,
+            EventKind.DYN_GRANT,
+            job_id=parent.job_id,
+            user=parent.user,
+            cores=0,
+            nodes=list(transferred.node_indices),
+            total_cores=parent.allocation.total_cores,
+            merged_from=stub.job_id,
+        )
+        self._notify()
+        return transferred
+
+    # ------------------------------------------------------------------
+    # node failures (fault tolerance, paper Section I)
+    # ------------------------------------------------------------------
+    def handle_node_failure(self, node_index: int, *, requeue: bool = True) -> list[Job]:
+        """A compute node died: requeue (or abort) every job touching it.
+
+        Returns the affected jobs.  Dynamic allocation improves fault
+        tolerance "by allocating spare nodes to affected jobs" (Section I);
+        here affected jobs are requeued and the scheduler restarts them on
+        the surviving nodes at the next iteration.
+        """
+        affected = [
+            j
+            for j in self.active_jobs()
+            if j.allocation is not None and node_index in j.allocation
+        ]
+        self.trace.record(
+            self.engine.now,
+            EventKind.NODE_FAIL,
+            node=node_index,
+            affected=[j.job_id for j in affected],
+        )
+        # release every affected job first so the node is fully idle
+        for job in affected:
+            if requeue:
+                self.preempt_job(job)
+                job.metadata["node_failures"] = job.metadata.get("node_failures", 0) + 1
+            else:
+                self.abort_job(job, reason=f"node {node_index} failed")
+        self.cluster.fail_node(node_index)
+        self._notify()
+        return affected
+
+    def recover_node(self, node_index: int) -> None:
+        """The node is back: make it schedulable again."""
+        self.cluster.recover_node(node_index)
+        self.trace.record(self.engine.now, EventKind.NODE_RECOVER, node=node_index)
+        self._notify()
+
+    # ------------------------------------------------------------------
+    # preemption (optional source of resources for dynamic requests)
+    # ------------------------------------------------------------------
+    def preempt_job(self, job: Job) -> None:
+        """Requeue a running job, releasing its resources immediately.
+
+        Checkpointable applications (those that registered a checkpoint
+        handler with TM) get a chance to stash their progress first and will
+        resume from it; everything else restarts from scratch.
+        """
+        if not job.is_active:
+            raise RuntimeError(f"{job.job_id} is not active")
+        ctx_for_checkpoint = self._contexts.get(job.job_id)
+        if ctx_for_checkpoint is not None and ctx_for_checkpoint.checkpoint_handler:
+            ctx_for_checkpoint.checkpoint_handler()
+        for dreq in [d for d in self.dyn_queue if d.job is job]:
+            self.dyn_queue.remove(dreq)
+            dreq.resolve(None)
+        limit = self._walltime_limits.pop(job.job_id, None)
+        if limit is not None:
+            limit.cancel()
+        ctx = self._contexts.pop(job.job_id)
+        ctx._cancel_all_timers()
+        assert job.allocation is not None
+        released = job.allocation
+        self.moms.exit(job)
+        self.cluster.release(released)
+        self.trace.record(
+            self.engine.now,
+            EventKind.PREEMPT,
+            job_id=job.job_id,
+            user=job.user,
+            cores=released.total_cores,
+        )
+        job.allocation = None
+        job.start_time = None
+        job.backfilled = False
+        job.state = JobState.QUEUED
+        job.metadata["preempt_count"] = job.metadata.get("preempt_count", 0) + 1
+        self.queue.push(job)
+        self._notify()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Server {len(self.queue)} queued, {len(self.dyn_queue)} dynqueued, "
+            f"{sum(1 for j in self.jobs.values() if j.is_active)} active>"
+        )

@@ -1,0 +1,190 @@
+"""Heap-based deterministic discrete-event engine.
+
+Design notes
+------------
+* Single priority queue of ``(time, priority, seq)`` keys.  ``priority``
+  orders simultaneous events (e.g. a job completion at time *t* must be
+  processed before the scheduler iteration triggered at *t* so the scheduler
+  sees the freed resources); ``seq`` is a monotone counter guaranteeing
+  deterministic FIFO order among equal keys.
+* Callbacks are plain callables.  Cancellation is O(1) via tombstoning the
+  :class:`EventHandle` rather than re-heapifying.
+* The engine never advances past events scheduled "now": scheduling at the
+  current time from within a callback is allowed and runs in the same
+  ``run()`` invocation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "PRIORITY_COMPLETION",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LIMIT",
+    "PRIORITY_SCHEDULER",
+]
+
+#: Job completions / resource releases fire first at a given timestamp …
+PRIORITY_COMPLETION = 0
+#: … then ordinary events (submissions, dynamic requests, app completions) …
+PRIORITY_NORMAL = 5
+#: … then walltime-limit enforcement (so a job finishing exactly at its
+#: walltime completes normally instead of being killed) …
+PRIORITY_LIMIT = 7
+#: … and scheduler iterations last, so they observe a settled system state.
+PRIORITY_SCHEDULER = 9
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled callback."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<EventHandle {name} @{self.time:.2f} p{self.priority} {state}>"
+
+
+class Engine:
+    """Deterministic event loop with a floating-point clock (seconds)."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now: float = float(start_time)
+        self._heap: list[tuple[float, int, int, EventHandle]] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._processed: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``.
+
+        Scheduling in the past raises ``ValueError`` — that is always a bug
+        in the caller, and silently clamping would hide causality errors.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule event at t={time} before current time t={self.now}"
+            )
+        handle = EventHandle(time, priority, self._seq, callback, args)
+        heapq.heappush(self._heap, (time, priority, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self.now + delay, callback, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if the queue is empty."""
+        while self._heap:
+            time, _prio, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self._processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drain the event queue.
+
+        :param until: stop once the next event would fire strictly after this
+            time (the clock is advanced to ``until`` if given).
+        :param max_events: safety valve for tests; raise ``RuntimeError`` when
+            exceeded so runaway event storms fail loudly instead of hanging.
+        :returns: the number of events processed by this call.
+        """
+        if self._running:
+            raise RuntimeError("Engine.run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                time, _prio, _seq, handle = self._heap[0]
+                if handle.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                self.now = time
+                self._processed += 1
+                processed += 1
+                if max_events is not None and processed > max_events:
+                    raise RuntimeError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                handle.callback(*handle.args)
+            if until is not None and until > self.now:
+                self.now = until
+            return processed
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for *_k, h in self._heap if not h.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total number of events executed since construction."""
+        return self._processed
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next pending event, or None if idle."""
+        for time, _prio, _seq, handle in sorted(self._heap)[:]:
+            if not handle.cancelled:
+                return time
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Engine t={self.now:.2f} pending={self.pending}>"

@@ -1,0 +1,87 @@
+"""Typed trace events emitted by the simulated batch system.
+
+Trace events are *observations*, not control flow: the engine drives the
+simulation through callbacks, while components append :class:`TraceEvent`
+records to a shared :class:`TraceLog` so that tests, metrics and experiment
+harnesses can reconstruct exactly what happened and when.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class EventKind(enum.Enum):
+    """Taxonomy of observable events in the batch system."""
+
+    JOB_SUBMIT = "job_submit"
+    JOB_START = "job_start"
+    JOB_END = "job_end"
+    JOB_ABORT = "job_abort"
+    DYN_REQUEST = "dyn_request"
+    DYN_GRANT = "dyn_grant"
+    DYN_REJECT = "dyn_reject"
+    DYN_RELEASE = "dyn_release"
+    RESERVATION_CREATE = "reservation_create"
+    BACKFILL_START = "backfill_start"
+    PREEMPT = "preempt"
+    SCHED_ITERATION = "sched_iteration"
+    DFS_INTERVAL_ROLL = "dfs_interval_roll"
+    NODE_FAIL = "node_fail"
+    NODE_RECOVER = "node_recover"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """A single timestamped observation.
+
+    ``payload`` carries event-specific details (job id, node list, delay
+    amounts, …) as a plain dict so traces stay serialisable.
+    """
+
+    time: float
+    kind: EventKind
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # compact, log-friendly
+        items = ", ".join(f"{k}={v!r}" for k, v in sorted(self.payload.items()))
+        return f"<{self.kind.value} @{self.time:.2f} {items}>"
+
+
+class TraceLog:
+    """Append-only ordered log of :class:`TraceEvent` records."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def record(self, time: float, kind: EventKind, **payload: Any) -> TraceEvent:
+        """Append an event and return it."""
+        ev = TraceEvent(time=time, kind=kind, payload=payload)
+        self._events.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, idx: int) -> TraceEvent:
+        return self._events[idx]
+
+    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        """All events of the given kind, in time order."""
+        return [e for e in self._events if e.kind is kind]
+
+    def for_job(self, job_id: str) -> list[TraceEvent]:
+        """All events whose payload references ``job_id``."""
+        return [e for e in self._events if e.payload.get("job_id") == job_id]
+
+    def count(self, kind: EventKind) -> int:
+        """Number of events of the given kind."""
+        return sum(1 for e in self._events if e.kind is kind)
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,85 @@
+"""The complete dynamic batch system, wired together.
+
+:class:`BatchSystem` is the public facade most users want: it builds the
+engine, cluster, server and scheduler, lets you submit jobs (immediately or
+at future times), runs the simulation and hands back
+:class:`~repro.metrics.collector.WorkloadMetrics`.
+
+Example
+-------
+>>> from repro import BatchSystem, MauiConfig
+>>> from repro.rms.client import qsub
+>>> system = BatchSystem(num_nodes=4, cores_per_node=8)
+>>> job = qsub(system.server, cores=8, walltime=600, user="alice")
+>>> system.run()
+>>> job.state.value
+'completed'
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Cluster
+from repro.jobs.job import Job
+from repro.maui.config import MauiConfig
+from repro.maui.scheduler import MauiScheduler
+from repro.metrics.collector import WorkloadMetrics
+from repro.rms.server import Application, Server
+from repro.sim.engine import Engine
+from repro.sim.events import TraceLog
+
+__all__ = ["BatchSystem"]
+
+
+class BatchSystem:
+    """Engine + cluster + server + scheduler in one object."""
+
+    def __init__(
+        self,
+        num_nodes: int = 15,
+        cores_per_node: int = 8,
+        config: MauiConfig | None = None,
+        *,
+        cluster: Cluster | None = None,
+        start_time: float = 0.0,
+    ) -> None:
+        self.engine = Engine(start_time=start_time)
+        if cluster is None:
+            dyn_nodes = 0
+            if config is not None and config.use_dynamic_partition:
+                # default fence: one node, overridable by passing a cluster
+                dyn_nodes = 1
+            cluster = Cluster.homogeneous(
+                num_nodes, cores_per_node, dynamic_partition_nodes=dyn_nodes
+            )
+        self.cluster = cluster
+        self.trace = TraceLog()
+        self.server = Server(self.engine, self.cluster, self.trace)
+        self.scheduler = MauiScheduler(self.engine, self.cluster, self.server, config)
+
+    @property
+    def config(self) -> MauiConfig:
+        return self.scheduler.config
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job, app: Application | None = None) -> Job:
+        """Submit a job right now."""
+        return self.server.submit(job, app)
+
+    def submit_at(self, time: float, job: Job, app: Application | None = None) -> None:
+        """Schedule a future submission (the workload generators use this)."""
+        self.engine.at(time, self.server.submit, job, app)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run the simulation to completion (or ``until``)."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    def metrics(self) -> WorkloadMetrics:
+        """Workload metrics over everything submitted so far."""
+        return WorkloadMetrics.from_server(self.server, self.cluster)
+
+    def __repr__(self) -> str:
+        return f"<BatchSystem t={self.engine.now:.1f} {self.cluster!r}>"

@@ -1,0 +1,99 @@
+"""Time and size unit helpers shared across the batch-system simulator.
+
+The Maui configuration language expresses durations either as plain seconds
+(``4800``) or in ``HH:MM:SS`` / ``DD:HH:MM:SS`` form (``06:00:00``).  All
+simulator-internal times are floats in seconds since simulation start.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "parse_duration",
+    "format_duration",
+    "minutes",
+    "hours",
+    "days",
+    "UNLIMITED",
+]
+
+#: Sentinel meaning "no limit" for fairness limits.  The paper's Fig. 6 uses
+#: a configured value of ``0`` to mean unlimited; we normalise that to this
+#: sentinel at parse time so arithmetic never confuses "0 seconds allowed"
+#: with "unbounded".
+UNLIMITED = float("inf")
+
+
+def minutes(x: float) -> float:
+    """Return *x* minutes expressed in seconds."""
+    return float(x) * 60.0
+
+
+def hours(x: float) -> float:
+    """Return *x* hours expressed in seconds."""
+    return float(x) * 3600.0
+
+
+def days(x: float) -> float:
+    """Return *x* days expressed in seconds."""
+    return float(x) * 86400.0
+
+
+def parse_duration(text: str | int | float) -> float:
+    """Parse a Maui-style duration into seconds.
+
+    Accepted forms:
+
+    * a number (``int``/``float`` or numeric string) — interpreted as seconds
+    * ``MM:SS``
+    * ``HH:MM:SS``
+    * ``DD:HH:MM:SS``
+
+    >>> parse_duration("06:00:00")
+    21600.0
+    >>> parse_duration(90)
+    90.0
+    >>> parse_duration("1:00:00:00")
+    86400.0
+    """
+    if isinstance(text, (int, float)):
+        value = float(text)
+        if value < 0:
+            raise ValueError(f"negative duration: {text!r}")
+        return value
+    s = text.strip()
+    if not s:
+        raise ValueError("empty duration string")
+    if ":" not in s:
+        value = float(s)
+        if value < 0:
+            raise ValueError(f"negative duration: {text!r}")
+        return value
+    parts = s.split(":")
+    if len(parts) > 4:
+        raise ValueError(f"too many ':' fields in duration: {text!r}")
+    multipliers = (1.0, 60.0, 3600.0, 86400.0)
+    total = 0.0
+    for mult, field in zip(multipliers, reversed(parts)):
+        if field == "":
+            raise ValueError(f"empty field in duration: {text!r}")
+        value = float(field)
+        if value < 0:
+            raise ValueError(f"negative field in duration: {text!r}")
+        total += mult * value
+    return total
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds as ``HH:MM:SS`` (hours may exceed 24).
+
+    >>> format_duration(21600)
+    '06:00:00'
+    """
+    if seconds == UNLIMITED:
+        return "UNLIMITED"
+    total = int(round(seconds))
+    sign = "-" if total < 0 else ""
+    total = abs(total)
+    h, rem = divmod(total, 3600)
+    m, s = divmod(rem, 60)
+    return f"{sign}{h:02d}:{m:02d}:{s:02d}"

@@ -1,0 +1,26 @@
+"""Workload generation: the (dynamic) ESP benchmark and synthetic mixes."""
+
+from repro.workloads.esp import (
+    ESP_JOB_TYPES,
+    ESPJobType,
+    esp_core_count,
+    make_esp_workload,
+)
+from repro.workloads.random_workload import make_diurnal_workload, make_random_workload
+from repro.workloads.spec import JobSpec, Workload
+from repro.workloads.submission import esp_submission_times
+from repro.workloads.swf import from_swf, to_swf
+
+__all__ = [
+    "ESPJobType",
+    "ESP_JOB_TYPES",
+    "JobSpec",
+    "Workload",
+    "esp_core_count",
+    "esp_submission_times",
+    "from_swf",
+    "to_swf",
+    "make_diurnal_workload",
+    "make_esp_workload",
+    "make_random_workload",
+]

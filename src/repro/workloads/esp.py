@@ -1,0 +1,201 @@
+"""The ESP benchmark and its dynamic (evolving-job) variant — paper Table I.
+
+The original ESP system-utilization benchmark (Wong et al., SC 2000) runs
+230 jobs of 14 types; every type occupies a fixed fraction of the machine
+and runs a fixed time.  The paper modifies it so job types F, G, H, I and J
+(69 jobs, 30 %) are *evolving*: each requests 4 extra cores after 16 % of
+its static execution time (SET), retries at 25 % if rejected, and — on a
+grant — finishes early per the linear speedup model (Table I's dynamic
+execution time, DET).
+
+Every rigid type is owned by a distinct user and all evolving types by
+``user06``, reproducing the paper's per-user fairness accounting exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.synthetic import EvolvingWorkApp, FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.evolution import EvolutionProfile, EvolutionStep
+from repro.workloads.spec import JobSpec, Workload
+from repro.workloads.submission import esp_submission_times
+
+__all__ = [
+    "ESPJobType",
+    "ESP_JOB_TYPES",
+    "esp_core_count",
+    "expected_dynamic_runtime",
+    "make_esp_workload",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ESPJobType:
+    """One row of Table I."""
+
+    letter: str
+    user: str
+    fraction: float
+    count: int
+    #: static execution time in seconds (SET)
+    static_execution_time: float
+    #: the paper's reference dynamic execution time (DET); None for rigid jobs
+    paper_det: float | None = None
+
+    @property
+    def is_evolving(self) -> bool:
+        return self.paper_det is not None
+
+
+#: Table I of the paper, verbatim.
+ESP_JOB_TYPES: tuple[ESPJobType, ...] = (
+    ESPJobType("A", "user01", 0.03125, 75, 267.0),
+    ESPJobType("B", "user02", 0.06250, 9, 322.0),
+    ESPJobType("C", "user03", 0.50000, 3, 534.0),
+    ESPJobType("D", "user04", 0.25000, 3, 616.0),
+    ESPJobType("E", "user05", 0.50000, 3, 315.0),
+    ESPJobType("F", "user06", 0.06250, 9, 1846.0, 1230.0),
+    ESPJobType("G", "user06", 0.12500, 6, 1334.0, 1067.0),
+    ESPJobType("H", "user06", 0.15820, 6, 1067.0, 896.0),
+    ESPJobType("I", "user06", 0.03125, 24, 1432.0, 716.0),
+    ESPJobType("J", "user06", 0.06250, 24, 725.0, 483.0),
+    ESPJobType("K", "user07", 0.09570, 15, 487.0),
+    ESPJobType("L", "user08", 0.12500, 36, 366.0),
+    ESPJobType("M", "user09", 0.25000, 15, 187.0),
+    ESPJobType("Z", "user10", 1.00000, 2, 100.0),
+)
+
+#: extra cores each evolving job requests (paper: "4 additional cores each")
+ESP_EXTRA_CORES = 4
+#: first request after 16 % of SET, retry after 25 % (Cylinder-derived)
+ESP_REQUEST_FRACTION = 0.16
+ESP_RETRY_FRACTION = 0.25
+
+
+def esp_core_count(fraction: float, total_cores: int) -> int:
+    """Cores for an ESP size fraction on a machine of ``total_cores``."""
+    return max(1, round(fraction * total_cores))
+
+
+def expected_dynamic_runtime(
+    set_seconds: float, base_cores: int, extra_cores: int, granted_at_fraction: float
+) -> float:
+    """Runtime under the linear model with a grant at the given fraction.
+
+    A grant at fraction *f* leaves ``(1-f)·SET`` of work to run at speedup
+    ``(c+k)/c``: total = ``f·SET + (1-f)·SET·c/(c+k)``.  With ``f = 0`` this
+    is the whole-run DET, ``SET·c/(c+k)``.
+    """
+    c, k = base_cores, extra_cores
+    return set_seconds * (granted_at_fraction + (1 - granted_at_fraction) * c / (c + k))
+
+
+def make_esp_workload(
+    total_cores: int = 120,
+    *,
+    dynamic: bool = True,
+    seed: int = 2014,
+    burst: int = 50,
+    interval: float = 30.0,
+    walltime_factor: float = 1.0,
+    negotiation_timeout: float | None = None,
+) -> Workload:
+    """Build the (dynamic) ESP workload for a machine of ``total_cores``.
+
+    :param dynamic: with False, types F-J are plain rigid jobs — the paper's
+        "Static" workload configuration.
+    :param seed: deterministic shuffle of the 228 regular jobs ("submitted in
+        a particular order"); the 2 Z jobs always come last, 30 minutes after
+        the final regular submission.
+    :param walltime_factor: requested walltime as a multiple of SET (users
+        typically over-request; 1.0 reproduces ESP's exact-walltime runs).
+    :param negotiation_timeout: when set, evolving jobs use the negotiation
+        protocol with this window instead of the paper's 25 % retry (the
+        Section III-C outlook, studied by the negotiation ablation bench).
+    """
+    if walltime_factor < 1.0:
+        raise ValueError("walltime must cover the static execution time")
+    regular_types = [t for t in ESP_JOB_TYPES if t.letter != "Z"]
+    z_type = next(t for t in ESP_JOB_TYPES if t.letter == "Z")
+
+    ordered: list[ESPJobType] = []
+    for jtype in regular_types:
+        ordered.extend([jtype] * jtype.count)
+    rng = np.random.default_rng(seed)
+    rng.shuffle(ordered)  # the fixed "particular order" for this seed
+
+    regular_times, z_times = esp_submission_times(
+        len(ordered), z_type.count, burst=burst, interval=interval
+    )
+
+    specs: list[JobSpec] = []
+    for submit_time, jtype in zip(regular_times, ordered):
+        specs.append(
+            _make_spec(
+                jtype, submit_time, total_cores, dynamic, walltime_factor,
+                negotiation_timeout,
+            )
+        )
+    for k, submit_time in enumerate(z_times):
+        specs.append(
+            JobSpec(
+                submit_time=submit_time,
+                request=ResourceRequest(cores=esp_core_count(z_type.fraction, total_cores)),
+                walltime=z_type.static_execution_time * walltime_factor,
+                user=z_type.user,
+                esp_type="Z",
+                top_priority=True,
+                app_factory=_fixed_app_factory(z_type.static_execution_time),
+            )
+        )
+    name = "dynamic-esp" if dynamic else "static-esp"
+    return Workload(specs=specs, name=name)
+
+
+def _make_spec(
+    jtype: ESPJobType,
+    submit_time: float,
+    total_cores: int,
+    dynamic: bool,
+    walltime_factor: float,
+    negotiation_timeout: float | None = None,
+) -> JobSpec:
+    cores = esp_core_count(jtype.fraction, total_cores)
+    runtime = jtype.static_execution_time
+    evolution = None
+    app_factory = _fixed_app_factory(runtime)
+    if dynamic and jtype.is_evolving:
+        retries = () if negotiation_timeout is not None else (ESP_RETRY_FRACTION,)
+        evolution = EvolutionProfile(
+            steps=(
+                EvolutionStep(
+                    at_fraction=ESP_REQUEST_FRACTION,
+                    request=ResourceRequest(cores=ESP_EXTRA_CORES),
+                    retry_fractions=retries,
+                ),
+            )
+        )
+        app_factory = _evolving_app_factory(runtime, negotiation_timeout)
+    return JobSpec(
+        submit_time=submit_time,
+        request=ResourceRequest(cores=cores),
+        walltime=runtime * walltime_factor,
+        user=jtype.user,
+        esp_type=jtype.letter,
+        evolution=evolution,
+        app_factory=app_factory,
+    )
+
+
+def _fixed_app_factory(runtime: float):
+    return lambda: FixedRuntimeApp(runtime)
+
+
+def _evolving_app_factory(set_seconds: float, negotiation_timeout: float | None = None):
+    return lambda: EvolvingWorkApp(
+        set_seconds, negotiation_timeout=negotiation_timeout
+    )

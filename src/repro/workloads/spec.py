@@ -1,0 +1,105 @@
+"""Workload specifications: declarative job lists bound to a system at run time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.evolution import EvolutionProfile
+from repro.jobs.job import Job, JobFlexibility
+from repro.rms.server import Application
+from repro.system import BatchSystem
+
+__all__ = ["JobSpec", "Workload"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job to be submitted at a fixed time.
+
+    ``app_factory`` builds a fresh application instance per submission so a
+    spec can be reused across runs without shared mutable state.
+    """
+
+    submit_time: float
+    request: ResourceRequest
+    walltime: float
+    user: str
+    group: str = "users"
+    esp_type: str | None = None
+    evolution: EvolutionProfile | None = None
+    #: mark the job evolving even without an EvolutionProfile (used by apps
+    #: that grow through channels other than tm_dynget, e.g. the SLURM-style
+    #: helper-job baseline)
+    evolving: bool = False
+    top_priority: bool = False
+    app_factory: Callable[[], Application] | None = None
+
+    def build_job(self) -> Job:
+        flexibility = (
+            JobFlexibility.EVOLVING
+            if (self.evolution is not None or self.evolving)
+            else JobFlexibility.RIGID
+        )
+        metadata = {}
+        if self.esp_type is not None:
+            metadata["esp_type"] = self.esp_type
+        return Job(
+            request=self.request,
+            walltime=self.walltime,
+            user=self.user,
+            group=self.group,
+            flexibility=flexibility,
+            evolution=self.evolution,
+            top_priority=self.top_priority,
+            metadata=metadata,
+        )
+
+
+@dataclass
+class Workload:
+    """An ordered collection of job specs."""
+
+    specs: list[JobSpec] = field(default_factory=list)
+    name: str = "workload"
+
+    def __post_init__(self) -> None:
+        self.specs = sorted(self.specs, key=lambda s: s.submit_time)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self.specs)
+
+    @property
+    def total_jobs(self) -> int:
+        return len(self.specs)
+
+    @property
+    def evolving_jobs(self) -> int:
+        return sum(1 for s in self.specs if s.evolution is not None)
+
+    def submit_to(self, system: BatchSystem) -> list[Job]:
+        """Schedule every spec's submission on the system's engine.
+
+        Returns the job objects in spec order, so callers can correlate
+        results back to the workload definition.
+        """
+        jobs: list[Job] = []
+        for spec in self.specs:
+            job = spec.build_job()
+            app = spec.app_factory() if spec.app_factory is not None else None
+            if spec.submit_time <= system.engine.now:
+                system.submit(job, app)
+            else:
+                system.submit_at(spec.submit_time, job, app)
+            jobs.append(job)
+        return jobs
+
+    def __repr__(self) -> str:
+        return (
+            f"<Workload {self.name!r}: {self.total_jobs} jobs, "
+            f"{self.evolving_jobs} evolving>"
+        )

@@ -1,0 +1,39 @@
+"""The ESP submission protocol (paper Section IV-B).
+
+"Jobs are submitted in a particular order with the first 50 jobs submitted
+instantly.  Thereafter, jobs are submitted one by one with an interval of 30
+seconds between each job submission. […] After submitting the other 228
+jobs, the Z jobs are submitted 30 minutes after the last job submission."
+"""
+
+from __future__ import annotations
+
+from repro.units import minutes
+
+__all__ = ["esp_submission_times"]
+
+
+def esp_submission_times(
+    num_regular: int,
+    num_z: int,
+    *,
+    burst: int = 50,
+    interval: float = 30.0,
+    z_gap: float = minutes(30),
+    z_spacing: float = 30.0,
+) -> tuple[list[float], list[float]]:
+    """Submission times for the regular jobs and the Z jobs.
+
+    :returns: ``(regular_times, z_times)`` — regular job *i* (0-based) is
+        submitted at 0 for ``i < burst`` and at ``(i - burst + 1) * interval``
+        after that; Z jobs follow ``z_gap`` after the last regular submission,
+        spaced ``z_spacing`` apart.
+    """
+    if num_regular < 0 or num_z < 0:
+        raise ValueError("job counts cannot be negative")
+    regular = [
+        0.0 if i < burst else (i - burst + 1) * interval for i in range(num_regular)
+    ]
+    last = regular[-1] if regular else 0.0
+    z_times = [last + z_gap + k * z_spacing for k in range(num_z)]
+    return regular, z_times

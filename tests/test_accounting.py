@@ -1,0 +1,108 @@
+"""Tests for the usage-accounting ledger."""
+
+import pytest
+
+from repro.apps.synthetic import EvolvingWorkApp, FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.evolution import EvolutionProfile
+from repro.jobs.job import Job, JobFlexibility
+from repro.maui.config import MauiConfig
+from repro.rms.accounting import AccountingLedger
+from repro.system import BatchSystem
+from repro.workloads.esp import make_esp_workload
+
+
+class TestBasicCharges:
+    def test_rigid_job_charge(self, system):
+        job = Job(request=ResourceRequest(cores=8), walltime=200.0, user="alice")
+        system.submit(job, FixedRuntimeApp(100.0))
+        system.run()
+        ledger = AccountingLedger(system.trace)
+        charge = ledger.job(job.job_id)
+        assert charge.base_core_seconds == pytest.approx(8 * 100.0)
+        assert charge.expansion_core_seconds == 0.0
+        assert charge.total_core_hours == pytest.approx(800.0 / 3600.0)
+
+    def test_expansion_charged_from_grant_time(self, system):
+        job = Job(
+            request=ResourceRequest(cores=4),
+            walltime=1000.0,
+            user="evo",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=4)),
+        )
+        system.submit(job, EvolvingWorkApp(1000.0))
+        system.run()
+        ledger = AccountingLedger(system.trace)
+        charge = ledger.job(job.job_id)
+        # ends at 580 (grant at 160): base 4 cores x 580s, expansion 4 x 420s
+        assert charge.base_core_seconds == pytest.approx(4 * 580.0)
+        assert charge.expansion_core_seconds == pytest.approx(4 * 420.0)
+        assert charge.expansions == 1
+
+    def test_release_stops_charging(self, system):
+        job = Job(request=ResourceRequest(cores=8), walltime=4000.0, user="w")
+        system.submit(
+            job, EvolvingWorkApp(1000.0, release_at_fraction=0.5, release_cores=4)
+        )
+        system.run()
+        ledger = AccountingLedger(system.trace)
+        charge = ledger.job(job.job_id)
+        # 8 cores for 500s, then 4 cores for the slow 1000s tail
+        assert charge.base_core_seconds == pytest.approx(8 * 500 + 4 * 1000)
+        assert charge.released_cores == 4
+
+    def test_preempted_segment_charged(self, system):
+        job = Job(request=ResourceRequest(cores=8), walltime=500.0, user="p")
+        system.submit(job, FixedRuntimeApp(400.0))
+        system.run(until=100.0)
+        system.server.preempt_job(job)
+        system.run()
+        ledger = AccountingLedger(system.trace)
+        charge = ledger.job(job.job_id)
+        # 100s before preemption + 400s full restart
+        assert charge.base_core_seconds == pytest.approx(8 * 500.0)
+
+
+class TestInvoices:
+    def test_per_user_rollup(self, system):
+        for user, cores in (("a", 8), ("a", 4), ("b", 16)):
+            system.submit(
+                Job(request=ResourceRequest(cores=cores), walltime=100.0, user=user),
+                FixedRuntimeApp(100.0),
+            )
+        system.run()
+        invoices = AccountingLedger(system.trace).invoices()
+        assert invoices["a"].jobs == 2
+        assert invoices["a"].core_seconds == pytest.approx(1200.0)
+        assert invoices["b"].core_seconds == pytest.approx(1600.0)
+
+    def test_total_matches_busy_integral(self, paper_system):
+        from repro.metrics.stats import busy_core_seconds
+
+        make_esp_workload(120, dynamic=True, seed=2014).submit_to(paper_system)
+        paper_system.run(max_events=2_000_000)
+        ledger = AccountingLedger(paper_system.trace)
+        busy = busy_core_seconds(paper_system.trace, 0.0, 1e12)
+        assert ledger.total_core_seconds == pytest.approx(busy, rel=1e-9)
+
+    def test_esp_expansions_all_charged_to_user06(self, paper_system):
+        make_esp_workload(120, dynamic=True, seed=2014).submit_to(paper_system)
+        paper_system.run(max_events=2_000_000)
+        invoices = AccountingLedger(paper_system.trace).invoices()
+        for user, invoice in invoices.items():
+            if user == "user06":
+                assert invoice.expansions == 43
+                assert invoice.expansion_core_seconds > 0
+            else:
+                assert invoice.expansions == 0
+
+    def test_render(self, system):
+        system.submit(
+            Job(request=ResourceRequest(cores=4), walltime=10.0, user="renderme"),
+            FixedRuntimeApp(10.0),
+        )
+        system.run()
+        text = AccountingLedger(system.trace).render()
+        assert "renderme" in text
+        assert "Core-hours" in text

@@ -1,0 +1,123 @@
+"""Tests for administrative (maintenance) reservations."""
+
+import pytest
+
+from repro.apps.synthetic import EvolvingWorkApp, FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.evolution import EvolutionProfile
+from repro.jobs.job import Job, JobFlexibility, JobState
+from repro.maui.config import MauiConfig
+from repro.maui.reservations import AdminReservation
+from repro.system import BatchSystem
+
+
+def maintenance(nodes, start, end):
+    return AdminReservation(
+        cores_by_node={n: 8 for n in nodes}, start=start, end=end
+    )
+
+
+class TestValidation:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            AdminReservation(cores_by_node={0: 8}, start=10.0, end=10.0)
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            AdminReservation(cores_by_node={}, start=0.0, end=10.0)
+
+    def test_overlaps(self):
+        res = maintenance([0], 100.0, 200.0)
+        assert res.overlaps(150.0, 160.0)
+        assert res.overlaps(0.0, 101.0)
+        assert not res.overlaps(200.0, 300.0)
+        assert not res.overlaps(0.0, 100.0)
+
+
+class TestStaticScheduling:
+    def test_job_avoids_future_maintenance_window(self):
+        # full-machine maintenance at [100, 200): a 150s job cannot start now
+        config = MauiConfig(
+            admin_reservations=(maintenance([0, 1], 100.0, 200.0),)
+        )
+        system = BatchSystem(2, 8, config)
+        job = Job(request=ResourceRequest(cores=16), walltime=150.0)
+        system.submit(job, FixedRuntimeApp(150.0))
+        system.run()
+        assert job.start_time == pytest.approx(200.0)
+
+    def test_short_job_fits_before_window(self):
+        config = MauiConfig(
+            admin_reservations=(maintenance([0, 1], 100.0, 200.0),)
+        )
+        system = BatchSystem(2, 8, config)
+        job = Job(request=ResourceRequest(cores=16), walltime=100.0)
+        system.submit(job, FixedRuntimeApp(100.0))
+        system.run()
+        assert job.start_time == 0.0
+
+    def test_job_routes_around_partial_maintenance(self):
+        # only node 0 is down for maintenance: node 1 stays usable
+        config = MauiConfig(admin_reservations=(maintenance([0], 100.0, 200.0),))
+        system = BatchSystem(2, 8, config)
+        job = Job(request=ResourceRequest(cores=8), walltime=500.0)
+        system.submit(job, FixedRuntimeApp(500.0))
+        system.run(until=0.0)
+        assert job.state is JobState.RUNNING
+        assert 0 not in job.allocation
+
+    def test_expired_reservation_ignored(self):
+        config = MauiConfig(admin_reservations=(maintenance([0, 1], 0.0, 50.0),))
+        system = BatchSystem(2, 8, config, start_time=100.0)
+        job = Job(request=ResourceRequest(cores=16), walltime=100.0)
+        system.submit(job, FixedRuntimeApp(100.0))
+        system.run()
+        assert job.start_time == pytest.approx(100.0)  # started immediately
+
+
+class TestDynamicRequests:
+    def test_grant_avoids_reserved_node(self):
+        # maintenance on node 1 during the evolving job's walltime
+        config = MauiConfig(admin_reservations=(maintenance([1], 500.0, 900.0),))
+        system = BatchSystem(3, 8, config)
+        evo = Job(
+            request=ResourceRequest(cores=8),
+            walltime=1000.0,
+            user="evo",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=8)),
+        )
+        system.submit(evo, EvolvingWorkApp(1000.0))
+        system.run(until=200.0)
+        assert evo.dyn_granted == 1
+        assert 1 not in evo.allocation  # the grant routed around node 1
+
+    def test_grant_rejected_when_only_reserved_nodes_idle(self):
+        config = MauiConfig(admin_reservations=(maintenance([1], 500.0, 900.0),))
+        system = BatchSystem(2, 8, config)
+        evo = Job(
+            request=ResourceRequest(cores=8),
+            walltime=1000.0,
+            user="evo",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=8)),
+        )
+        system.submit(evo, EvolvingWorkApp(1000.0))
+        system.run(until=300.0)
+        assert evo.dyn_granted == 0
+        assert evo.dyn_rejected >= 1
+
+    def test_grant_allowed_when_window_after_walltime(self):
+        # maintenance begins only after the evolving job's walltime ends
+        config = MauiConfig(admin_reservations=(maintenance([1], 2000.0, 3000.0),))
+        system = BatchSystem(2, 8, config)
+        evo = Job(
+            request=ResourceRequest(cores=8),
+            walltime=1000.0,
+            user="evo",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=8)),
+        )
+        system.submit(evo, EvolvingWorkApp(1000.0))
+        system.run(until=300.0)
+        assert evo.dyn_granted == 1

@@ -1,0 +1,69 @@
+"""Public API surface tests: the documented imports must keep working."""
+
+import importlib
+
+import pytest
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.sim",
+        "repro.cluster",
+        "repro.jobs",
+        "repro.rms",
+        "repro.rms.accounting",
+        "repro.rms.client",
+        "repro.maui",
+        "repro.apps",
+        "repro.workloads",
+        "repro.baselines",
+        "repro.metrics",
+        "repro.experiments",
+        "repro.experiments.export",
+        "repro.experiments.sweep",
+        "repro.cli",
+        "repro.system",
+        "repro.units",
+    ],
+)
+def test_module_imports_and_exports(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name} declared but missing"
+
+
+def test_quickstart_snippet_from_readme():
+    """The README quickstart must execute as written."""
+    from repro import BatchSystem, MauiConfig
+    from repro.apps.synthetic import EvolvingWorkApp
+    from repro.jobs.evolution import EvolutionProfile
+    from repro.rms.client import qsub
+
+    system = BatchSystem(num_nodes=15, cores_per_node=8, config=MauiConfig())
+    qsub(system.server, cores=16, walltime=600, user="alice")
+    qsub(
+        system.server,
+        cores=4,
+        walltime=900,
+        user="carol",
+        evolution=EvolutionProfile.esp_default(extra_cores=4),
+        app=EvolvingWorkApp(static_runtime=900),
+    )
+    system.run()
+    m = system.metrics()
+    assert m.completed_jobs == 2
+    assert m.satisfied_dyn_jobs == 1

@@ -1,0 +1,260 @@
+"""Tests for the application models (synthetic, Quadflow, AMR)."""
+
+import pytest
+
+from repro.apps.amr import AMRApp
+from repro.apps.quadflow import CYLINDER, FLAT_PLATE, QuadflowApp, QuadflowCase, QuadflowPhase
+from repro.apps.synthetic import EvolvingWorkApp, FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.evolution import EvolutionProfile
+from repro.jobs.job import Job, JobFlexibility, JobState
+from repro.maui.config import MauiConfig
+from repro.system import BatchSystem
+from repro.units import hours
+
+
+def submit_evolving(system, set_seconds, cores=4, extra=4, walltime=None, retries=(0.25,)):
+    job = Job(
+        request=ResourceRequest(cores=cores),
+        walltime=walltime if walltime is not None else set_seconds,
+        user="evo",
+        flexibility=JobFlexibility.EVOLVING,
+        evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=extra), retries),
+    )
+    system.submit(job, EvolvingWorkApp(set_seconds))
+    return job
+
+
+class TestFixedRuntimeApp:
+    def test_runs_exact_time(self, system):
+        job = Job(request=ResourceRequest(cores=8), walltime=500.0)
+        system.submit(job, FixedRuntimeApp(123.0))
+        system.run()
+        assert job.state is JobState.COMPLETED
+        assert job.end_time == 123.0
+
+    def test_invalid_runtime(self):
+        with pytest.raises(ValueError):
+            FixedRuntimeApp(0)
+
+
+class TestEvolvingWorkApp:
+    def test_granted_immediately_matches_linear_model(self, system):
+        # grant arrives at 16% (idle machine): 0.16*W + 0.84*W*c/(c+4)
+        job = submit_evolving(system, 1000.0, cores=4, extra=4)
+        system.run()
+        assert job.end_time == pytest.approx(0.16 * 1000 + 0.84 * 1000 * 0.5)
+
+    def test_rejected_runs_full_set(self):
+        system = BatchSystem(1, 4, MauiConfig())  # no room to grow
+        job = submit_evolving(system, 1000.0, cores=4, extra=4)
+        system.run()
+        assert job.end_time == pytest.approx(1000.0)
+        assert job.dyn_rejected == 2
+
+    def test_grant_at_retry_point(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        job = submit_evolving(system, 1000.0, cores=4, extra=4)
+        # blocker frees the 4 spare cores between the attempts (160 < 200 < 250)
+        blocker = Job(request=ResourceRequest(cores=4), walltime=200.0, user="b")
+        system.submit(blocker, FixedRuntimeApp(200.0))
+        system.run()
+        # granted at 25%: 0.25*W + 0.75*W/2
+        assert job.end_time == pytest.approx(0.25 * 1000 + 0.75 * 1000 * 0.5)
+
+    def test_speedup_proportional_to_cores(self, system):
+        job = submit_evolving(system, 1000.0, cores=8, extra=8)
+        system.run()
+        assert job.end_time == pytest.approx(0.16 * 1000 + 0.84 * 1000 * 0.5)
+
+    def test_speed_property_tracks_allocation(self, system):
+        app = EvolvingWorkApp(1000.0)
+        job = Job(
+            request=ResourceRequest(cores=4),
+            walltime=1000.0,
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.esp_default(),
+        )
+        system.submit(job, app)
+        system.run(until=200.0)
+        assert app.speed == 2.0  # 4 -> 8 cores
+
+    def test_release_slows_down(self, system):
+        job = Job(request=ResourceRequest(cores=8), walltime=4000.0, user="w")
+        system.submit(job, EvolvingWorkApp(1000.0, release_at_fraction=0.5, release_cores=4))
+        system.run()
+        # 500s at full speed, then 500s of work at half speed
+        assert job.end_time == pytest.approx(500.0 + 1000.0)
+        assert job.allocation.total_cores == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EvolvingWorkApp(0)
+        with pytest.raises(ValueError):
+            EvolvingWorkApp(100, release_at_fraction=1.5)
+
+    def test_restart_after_preemption_resets_progress(self):
+        from repro.apps.synthetic import EvolvingWorkApp as App
+
+        system = BatchSystem(2, 8, MauiConfig())
+        app = App(400.0)
+        job = Job(request=ResourceRequest(cores=4), walltime=400.0, user="v")
+        system.submit(job, app)
+        system.run(until=100.0)
+        system.server.preempt_job(job)
+        # the scheduler restarts it immediately; the app must start over
+        system.run()
+        assert job.state is JobState.COMPLETED
+        assert job.end_time == pytest.approx(100.0 + 400.0)
+
+
+class TestQuadflowCase:
+    def test_presets_adaptation_counts(self):
+        assert FLAT_PLATE.adaptations == 2
+        assert CYLINDER.adaptations == 5
+
+    def test_speed_saturates_below_threshold(self):
+        # 20000 cells, threshold 3000: speed caps at 6.67 regardless of cores
+        assert FLAT_PLATE.speed(20000, 16) == FLAT_PLATE.speed(20000, 32)
+        assert FLAT_PLATE.speed(100000, 32) == 32.0
+
+    def test_pre_final_phases_identical_16_vs_32(self):
+        for case in (FLAT_PLATE, CYLINDER):
+            for i in range(len(case.phases) - 1):
+                assert case.phase_time(i, 16) == pytest.approx(case.phase_time(i, 32))
+
+    def test_final_phase_halves_on_double_cores(self):
+        for case in (FLAT_PLATE, CYLINDER):
+            last = len(case.phases) - 1
+            assert case.phase_time(last, 32) == pytest.approx(
+                case.phase_time(last, 16) / 2
+            )
+
+    def test_paper_savings(self):
+        # paper: FlatPlate 17% (~3h), Cylinder 33% (~10h)
+        for case, saving_pct, saving_hours in (
+            (FLAT_PLATE, 17.0, 3.0),
+            (CYLINDER, 33.3, 10.0),
+        ):
+            static16 = case.total_time(16)
+            dynamic, _ = case.dynamic_schedule(32)
+            saved = static16 - sum(dynamic)
+            assert saved / static16 * 100 == pytest.approx(saving_pct, abs=0.5)
+            assert saved / 3600 == pytest.approx(saving_hours, abs=0.1)
+
+    def test_dynamic_schedule_expansion_index(self):
+        _, at = FLAT_PLATE.dynamic_schedule(32)
+        assert at == 2  # the final phase crosses the threshold
+        _, at = CYLINDER.dynamic_schedule(32)
+        assert at == 5
+
+    def test_invalid_case(self):
+        with pytest.raises(ValueError):
+            QuadflowCase(name="x", phases=(), threshold_cells_per_proc=10)
+        with pytest.raises(ValueError):
+            QuadflowPhase(cells=0, base_time=1.0)
+
+
+class TestQuadflowApp:
+    def _run(self, case, dynamic, nodes=2, cluster_nodes=4):
+        system = BatchSystem(cluster_nodes, 8, MauiConfig())
+        job = Job(
+            request=ResourceRequest(nodes=nodes, ppn=8),
+            walltime=hours(100),
+            user="cfd",
+            flexibility=JobFlexibility.EVOLVING if dynamic else JobFlexibility.RIGID,
+        )
+        system.submit(job, QuadflowApp(case, dynamic=dynamic))
+        system.run()
+        return job
+
+    def test_static_run_records_phase_times(self):
+        job = self._run(FLAT_PLATE, dynamic=False)
+        assert len(job.metadata["phase_times"]) == 3
+        assert job.metadata["expanded_at_phase"] is None
+        assert sum(job.metadata["phase_times"]) == pytest.approx(FLAT_PLATE.total_time(16))
+
+    def test_dynamic_run_expands_at_threshold(self):
+        job = self._run(CYLINDER, dynamic=True)
+        assert job.metadata["expanded_at_phase"] == 5
+        assert job.dyn_granted == 1
+        total = sum(job.metadata["phase_times"])
+        assert total == pytest.approx(CYLINDER.total_time(16) - hours(10))
+
+    def test_dynamic_run_without_idle_resources_continues_static(self):
+        system = BatchSystem(2, 8, MauiConfig())  # no room to grow
+        job = Job(
+            request=ResourceRequest(nodes=2, ppn=8),
+            walltime=hours(100),
+            user="cfd",
+            flexibility=JobFlexibility.EVOLVING,
+        )
+        system.submit(job, QuadflowApp(FLAT_PLATE, dynamic=True))
+        system.run()
+        assert job.dyn_granted == 0
+        assert sum(job.metadata["phase_times"]) == pytest.approx(FLAT_PLATE.total_time(16))
+
+
+class TestAMRApp:
+    def _job(self, **kw):
+        return Job(
+            request=ResourceRequest(cores=4),
+            walltime=kw.pop("walltime", 1e7),
+            user="amr",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.esp_default(),
+        )
+
+    def test_deterministic_given_seed(self):
+        cells = []
+        for _ in range(2):
+            system = BatchSystem(4, 8, MauiConfig())
+            job = self._job()
+            system.submit(job, AMRApp(seed=7, num_adaptations=3))
+            system.run()
+            cells.append(tuple(job.metadata["amr_cells"]))
+        assert cells[0] == cells[1]
+        assert len(cells[0]) == 4  # initial + 3 adaptations
+
+    def test_growth_triggers_dynamic_request(self):
+        system = BatchSystem(4, 8, MauiConfig())
+        job = self._job()
+        system.submit(
+            job,
+            AMRApp(
+                seed=1,
+                initial_cells=50_000,
+                threshold_cells_per_proc=10_000,
+                num_adaptations=3,
+                growth_low=1.5,
+                growth_high=2.0,
+            ),
+        )
+        system.run()
+        assert job.dyn_granted >= 1
+        assert job.state is JobState.COMPLETED
+
+    def test_memory_limit_aborts_without_resources(self):
+        system = BatchSystem(1, 4, MauiConfig())  # nowhere to grow
+        job = self._job()
+        system.submit(
+            job,
+            AMRApp(
+                seed=1,
+                initial_cells=50_000,
+                threshold_cells_per_proc=10_000,
+                cells_per_proc_limit=30_000,
+                num_adaptations=5,
+                growth_low=1.8,
+                growth_high=2.2,
+            ),
+        )
+        system.run()
+        assert job.state is JobState.ABORTED
+        assert job.metadata["abort_reason"] == "out_of_memory"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AMRApp(initial_cells=0)
+        with pytest.raises(ValueError):
+            AMRApp(growth_low=2.0, growth_high=1.0)

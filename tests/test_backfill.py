@@ -1,0 +1,61 @@
+"""Tests for the backfill pass."""
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.profile import AvailabilityProfile
+from repro.jobs.job import Job
+from repro.maui.backfill import select_backfill
+
+
+def profile(nodes=4, cores=8):
+    idx = list(range(nodes))
+    return AvailabilityProfile(idx, {i: cores for i in idx}, 0.0, {i: cores for i in idx})
+
+
+def job(cores, walltime):
+    j = Job(request=ResourceRequest(cores=cores), walltime=walltime)
+    j.submit_time = 0.0
+    return j
+
+
+class TestSelectBackfill:
+    def test_fills_idle_gap(self):
+        prof = profile()
+        # machine reserved from t=50 onwards
+        prof.add_claim(50.0, 1000.0, Allocation({i: 8 for i in range(4)}))
+        short = job(8, walltime=50.0)
+        chosen = select_backfill([short], prof, 0.0)
+        assert [p.job for p in chosen] == [short]
+        assert chosen[0].start == 0.0
+
+    def test_rejects_job_that_would_delay_reservation(self):
+        prof = profile()
+        prof.add_claim(50.0, 1000.0, Allocation({i: 8 for i in range(4)}))
+        long = job(8, walltime=51.0)  # one second too long
+        assert select_backfill([long], prof, 0.0) == []
+
+    def test_accepts_job_running_beside_reservation(self):
+        prof = profile()
+        # reservation takes only half the machine
+        prof.add_claim(50.0, 1000.0, Allocation({0: 8, 1: 8}))
+        beside = job(16, walltime=500.0)
+        chosen = select_backfill([beside], prof, 0.0)
+        assert len(chosen) == 1
+
+    def test_candidates_tried_in_order_and_claims_accumulate(self):
+        prof = profile()
+        prof.add_claim(50.0, 1000.0, Allocation({i: 8 for i in range(4)}))
+        a, b, c = job(16, 50.0), job(16, 50.0), job(16, 50.0)
+        chosen = select_backfill([a, b, c], prof, 0.0)
+        # only 32 cores exist: the third candidate no longer fits
+        assert [p.job for p in chosen] == [a, b]
+
+    def test_skip_then_fit_smaller(self):
+        prof = profile()
+        prof.add_claim(50.0, 1000.0, Allocation({i: 8 for i in range(4)}))
+        too_long = job(8, 200.0)
+        fits = job(8, 40.0)
+        chosen = select_backfill([too_long, fits], prof, 0.0)
+        assert [p.job for p in chosen] == [fits]
+
+    def test_empty_candidates(self):
+        assert select_backfill([], profile(), 0.0) == []

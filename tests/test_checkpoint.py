@@ -1,0 +1,79 @@
+"""Tests for checkpoint-based preemption (PREEMPTPOLICY CHECKPOINT analogue)."""
+
+import pytest
+
+from repro.apps.synthetic import EvolvingWorkApp, FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.job import Job, JobState
+from repro.maui.config import MauiConfig
+from repro.system import BatchSystem
+
+
+def make_job(walltime=600.0, user="cp"):
+    return Job(request=ResourceRequest(cores=4), walltime=walltime, user=user)
+
+
+class TestCheckpointPreemption:
+    def test_checkpointable_resumes_progress(self, system):
+        app = EvolvingWorkApp(400.0, checkpointable=True)
+        job = make_job()
+        system.submit(job, app)
+        system.run(until=150.0)
+        system.server.preempt_job(job)
+        system.run()
+        # 150s done before preemption; only the remaining 250s rerun
+        assert job.state is JobState.COMPLETED
+        assert job.end_time == pytest.approx(150.0 + 250.0)
+        assert job.metadata["checkpoint_work"] == pytest.approx(150.0)
+
+    def test_non_checkpointable_restarts_from_zero(self, system):
+        app = EvolvingWorkApp(400.0)
+        job = make_job()
+        system.submit(job, app)
+        system.run(until=150.0)
+        system.server.preempt_job(job)
+        system.run()
+        assert job.end_time == pytest.approx(150.0 + 400.0)
+        assert "checkpoint_work" not in job.metadata
+
+    def test_double_preemption_accumulates(self, system):
+        app = EvolvingWorkApp(400.0, checkpointable=True)
+        job = make_job(walltime=2000.0)
+        system.submit(job, app)
+        system.run(until=100.0)
+        system.server.preempt_job(job)   # 100s banked
+        system.run(until=250.0)          # restarts at 100, +150s more
+        system.server.preempt_job(job)
+        system.run()
+        assert job.metadata["checkpoint_work"] == pytest.approx(250.0)
+        # restarts are instantaneous on an idle machine, so no wall time is
+        # lost at all: 100 + 150 + remaining 150 of work = 400s end to end
+        assert job.end_time == pytest.approx(400.0)
+
+    def test_checkpoint_under_scheduler_preemption(self):
+        """Dynamic-request preemption spares checkpointed progress."""
+        config = MauiConfig(preemption_for_dynamic=True)
+        system = BatchSystem(2, 8, config)
+        from repro.jobs.evolution import EvolutionProfile
+        from repro.jobs.job import JobFlexibility
+
+        evo = Job(
+            request=ResourceRequest(cores=8),
+            walltime=1000.0,
+            user="evo",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.esp_default(),
+        )
+        system.submit(evo, EvolvingWorkApp(1000.0))
+        blocker = system.submit(
+            Job(request=ResourceRequest(cores=16), walltime=500.0, user="big"),
+            FixedRuntimeApp(500.0),
+        )
+        # short enough to backfill before the blocker's reservation at t=1000
+        victim = Job(request=ResourceRequest(cores=8), walltime=900.0, user="small")
+        victim_app = EvolvingWorkApp(800.0, checkpointable=True)
+        system.submit(victim, victim_app)
+        system.run()
+        assert victim.metadata.get("preempt_count", 0) == 1
+        assert victim.metadata["checkpoint_work"] == pytest.approx(160.0)
+        assert victim.state is JobState.COMPLETED

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_artifact_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.artifact == "table1"
+        assert args.seed == 2014
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["table2", "--seed", "7"])
+        assert args.seed == 7
+
+    def test_cores_option(self):
+        args = build_parser().parse_args(["table1", "--cores", "64"])
+        assert args.cores == 64
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_table1_prints(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "user06" in out
+
+    def test_table1_other_machine(self, capsys):
+        main(["table1", "--cores", "64"])
+        assert "64 cores" in capsys.readouterr().out
+
+    def test_table2_prints(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Dyn-HP" in out and "Static" in out
+
+    def test_fig7_prints(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "FlatPlate" in out and "Cylinder" in out
+
+    def test_fig9_prints(self, capsys):
+        assert main(["fig9"]) == 0
+        assert "type L" in capsys.readouterr().out
+
+    def test_export_prints_json(self, capsys):
+        import json
+
+        assert main(["export"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert data["seed"] == 2014
+        assert len(data["table2"]) == 4
+
+    def test_baselines_prints(self, capsys):
+        assert main(["baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "Guaranteeing" in out and "SLURM-style" in out
+
+    def test_gantt_prints(self, capsys):
+        assert main(["gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "node000" in out

@@ -1,0 +1,171 @@
+"""Tests for Node and Cluster."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.machine import Cluster
+from repro.cluster.node import Node, NodeState
+
+
+class TestNode:
+    def test_name_format(self):
+        assert Node(index=7, cores=8).name == "node007"
+
+    def test_free_and_idle(self):
+        node = Node(index=0, cores=8)
+        assert node.free == 8 and node.is_idle
+        node.used = 3
+        assert node.free == 5 and not node.is_idle
+
+    def test_down_node_has_no_free_cores(self):
+        node = Node(index=0, cores=8, state=NodeState.DOWN)
+        assert node.free == 0
+
+
+class TestClusterConstruction:
+    def test_homogeneous(self):
+        cluster = Cluster.homogeneous(15, 8)
+        assert len(cluster.nodes) == 15
+        assert cluster.total_cores == 120
+        assert cluster.free_cores == 120
+
+    def test_dynamic_partition_fencing(self):
+        cluster = Cluster.homogeneous(6, 8, dynamic_partition_nodes=2)
+        partitions = [n.partition for n in cluster.nodes]
+        assert partitions == ["batch"] * 4 + ["dynamic"] * 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([Node(index=0, cores=8), Node(index=0, cores=8)])
+
+    def test_invalid_homogeneous_params(self):
+        with pytest.raises(ValueError):
+            Cluster.homogeneous(0, 8)
+        with pytest.raises(ValueError):
+            Cluster.homogeneous(4, 8, dynamic_partition_nodes=5)
+
+
+class TestClaimRelease:
+    def test_claim_updates_usage(self, small_cluster):
+        small_cluster.claim(Allocation({0: 4, 1: 8}))
+        assert small_cluster.used_cores == 12
+        assert small_cluster.node(0).free == 4
+        assert small_cluster.node(1).free == 0
+
+    def test_release_returns_cores(self, small_cluster):
+        alloc = Allocation({0: 4})
+        small_cluster.claim(alloc)
+        small_cluster.release(alloc)
+        assert small_cluster.used_cores == 0
+
+    def test_oversubscription_rejected_atomically(self, small_cluster):
+        small_cluster.claim(Allocation({0: 8}))
+        with pytest.raises(ValueError):
+            small_cluster.claim(Allocation({1: 4, 0: 1}))
+        # the valid part of the failed claim must not have been applied
+        assert small_cluster.node(1).used == 0
+
+    def test_claim_unknown_node_rejected(self, small_cluster):
+        with pytest.raises(ValueError):
+            small_cluster.claim(Allocation({99: 1}))
+
+    def test_claim_down_node_rejected(self, small_cluster):
+        small_cluster.fail_node(2)
+        with pytest.raises(ValueError):
+            small_cluster.claim(Allocation({2: 1}))
+
+    def test_over_release_rejected(self, small_cluster):
+        small_cluster.claim(Allocation({0: 2}))
+        with pytest.raises(ValueError):
+            small_cluster.release(Allocation({0: 3}))
+
+
+class TestFindAllocation:
+    def test_flexible_fits(self, small_cluster):
+        alloc = small_cluster.find_allocation(ResourceRequest(cores=12))
+        assert alloc is not None and alloc.total_cores == 12
+        small_cluster.claim(alloc)  # must be claimable
+
+    def test_flexible_prefers_loaded_nodes(self, small_cluster):
+        small_cluster.claim(Allocation({0: 6}))
+        alloc = small_cluster.find_allocation(ResourceRequest(cores=2))
+        # anti-fragmentation: tops up the partially-used node first
+        assert alloc == Allocation({0: 2})
+
+    def test_flexible_too_big(self, small_cluster):
+        assert small_cluster.find_allocation(ResourceRequest(cores=33)) is None
+
+    def test_shaped_fits_whole_nodes(self, small_cluster):
+        alloc = small_cluster.find_allocation(ResourceRequest(nodes=2, ppn=8))
+        assert alloc is not None
+        assert sorted(alloc.items()) == [(0, 8), (1, 8)]
+
+    def test_shaped_respects_ppn(self, small_cluster):
+        small_cluster.claim(Allocation({0: 1, 1: 1, 2: 1}))
+        alloc = small_cluster.find_allocation(ResourceRequest(nodes=2, ppn=8))
+        assert alloc is None  # only node 3 still has 8 free cores
+
+    def test_shaped_prefers_emptiest(self, small_cluster):
+        small_cluster.claim(Allocation({0: 4}))
+        alloc = small_cluster.find_allocation(ResourceRequest(nodes=1, ppn=4))
+        assert alloc is not None
+        assert list(alloc.keys()) != [0]  # picks an idle node, not the loaded one
+
+    def test_partition_filter(self):
+        cluster = Cluster.homogeneous(4, 8, dynamic_partition_nodes=1)
+        alloc = cluster.find_allocation(
+            ResourceRequest(cores=8), partitions=("dynamic",)
+        )
+        assert alloc is not None and list(alloc.keys()) == [3]
+        assert cluster.find_allocation(
+            ResourceRequest(cores=9), partitions=("dynamic",)
+        ) is None
+
+    def test_exclude_nodes(self, small_cluster):
+        alloc = small_cluster.find_allocation(
+            ResourceRequest(cores=8), exclude_nodes=[0, 1, 2]
+        )
+        assert alloc is not None and list(alloc.keys()) == [3]
+
+    def test_down_nodes_excluded(self, small_cluster):
+        small_cluster.fail_node(0)
+        small_cluster.fail_node(1)
+        assert small_cluster.find_allocation(ResourceRequest(cores=24)) is None
+        small_cluster.recover_node(0)
+        assert small_cluster.find_allocation(ResourceRequest(cores=24)) is not None
+
+
+class TestFailures:
+    def test_up_cores_tracks_state(self, small_cluster):
+        assert small_cluster.up_cores == 32
+        small_cluster.fail_node(1)
+        assert small_cluster.up_cores == 24
+        small_cluster.recover_node(1)
+        assert small_cluster.up_cores == 32
+
+
+@given(
+    st.lists(
+        st.integers(min_value=1, max_value=8), min_size=1, max_size=20
+    ),
+    st.integers(min_value=1, max_value=64),
+)
+def test_property_find_allocation_is_claimable_and_exact(used_cores, want):
+    """Whatever find_allocation returns always fits and matches the request."""
+    cluster = Cluster.homogeneous(8, 8)
+    # pre-load some nodes
+    for i, used in enumerate(used_cores[:8]):
+        cluster.claim(Allocation({i: used}))
+    alloc = cluster.find_allocation(ResourceRequest(cores=want))
+    if alloc is None:
+        assert cluster.free_cores < want
+    else:
+        assert alloc.total_cores == want
+        cluster.claim(alloc)  # must not raise
+        assert cluster.used_cores == sum(used_cores[:8]) + want

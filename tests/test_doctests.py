@@ -1,0 +1,11 @@
+"""Doctest execution for modules with executable examples."""
+
+import doctest
+
+import repro.units
+
+
+def test_units_doctests():
+    results = doctest.testmod(repro.units, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 3  # the module documents its behaviour

@@ -1,0 +1,79 @@
+"""Tests for dynamic-request ordering policies.
+
+The paper services dynamic requests in FIFO order and lists "a fair
+prioritization mechanism between dynamic requests" as future work; the
+``dynamic_request_order`` knob implements that outlook.
+"""
+
+import pytest
+
+from repro.apps.synthetic import EvolvingWorkApp, FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.evolution import EvolutionProfile
+from repro.jobs.job import Job, JobFlexibility
+from repro.maui.config import MauiConfig
+from repro.system import BatchSystem
+
+
+def evolving(cores, extra, user, set_seconds=1000.0):
+    return Job(
+        request=ResourceRequest(cores=cores),
+        walltime=set_seconds,
+        user=user,
+        flexibility=JobFlexibility.EVOLVING,
+        evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=extra)),
+    )
+
+
+def contended_system(order: str) -> tuple[BatchSystem, Job, Job]:
+    """Two simultaneous requests (first: 4 cores, second: 2), 4 cores idle."""
+    system = BatchSystem(
+        2, 8, MauiConfig(dynamic_request_order=order)
+    )
+    first = evolving(4, 4, "heavy")
+    second = evolving(4, 2, "light")
+    system.submit(first, EvolvingWorkApp(1000.0))
+    system.submit(second, EvolvingWorkApp(1000.0))
+    system.submit(
+        Job(request=ResourceRequest(cores=4), walltime=1000.0, user="fill"),
+        FixedRuntimeApp(1000.0),
+    )
+    return system, first, second
+
+
+class TestOrderingPolicies:
+    def test_fifo_serves_first_submitter(self):
+        system, first, second = contended_system("fifo")
+        system.run(until=200.0)
+        assert first.dyn_granted == 1
+        assert second.dyn_granted == 0
+
+    def test_smallest_first_serves_cheap_request(self):
+        system, first, second = contended_system("smallest_first")
+        system.run(until=200.0)
+        # the 2-core request is served first; the 4-core one no longer fits
+        assert second.dyn_granted == 1
+        assert first.dyn_granted == 0
+
+    def test_fairshare_prefers_light_user(self):
+        system = BatchSystem(2, 8, MauiConfig(dynamic_request_order="fairshare"))
+        # "heavy" has a long history of usage before the contention moment
+        hog = Job(request=ResourceRequest(cores=8), walltime=500.0, user="heavy")
+        system.submit(hog, FixedRuntimeApp(500.0))
+        system.run()  # heavy accrues 8 cores x 500 s of usage
+        heavy_job = evolving(4, 4, "heavy")
+        light_job = evolving(4, 4, "light")
+        system.submit(heavy_job, EvolvingWorkApp(1000.0))
+        system.submit(light_job, EvolvingWorkApp(1000.0))
+        system.submit(
+            Job(request=ResourceRequest(cores=4), walltime=1000.0, user="fill"),
+            FixedRuntimeApp(1000.0),
+        )
+        system.run(until=800.0)
+        # both request at the same instant; the lighter user wins the 4 cores
+        assert light_job.dyn_granted == 1
+        assert heavy_job.dyn_granted == 0
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            MauiConfig(dynamic_request_order="lifo")

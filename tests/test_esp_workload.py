@@ -1,0 +1,163 @@
+"""Tests for the (dynamic) ESP workload generator — paper Table I."""
+
+import pytest
+
+from repro.workloads.esp import (
+    ESP_EXTRA_CORES,
+    ESP_JOB_TYPES,
+    ESP_REQUEST_FRACTION,
+    ESP_RETRY_FRACTION,
+    esp_core_count,
+    expected_dynamic_runtime,
+    make_esp_workload,
+)
+from repro.workloads.submission import esp_submission_times
+from repro.units import minutes
+
+
+class TestTable1Integrity:
+    def test_total_jobs_230(self):
+        assert sum(t.count for t in ESP_JOB_TYPES) == 230
+
+    def test_evolving_split_69_161(self):
+        evolving = sum(t.count for t in ESP_JOB_TYPES if t.is_evolving)
+        assert evolving == 69
+        assert 230 - evolving == 161
+
+    def test_evolving_types_are_fghij(self):
+        letters = {t.letter for t in ESP_JOB_TYPES if t.is_evolving}
+        assert letters == {"F", "G", "H", "I", "J"}
+
+    def test_evolving_share_30pct(self):
+        assert 69 / 230 == pytest.approx(0.30)
+
+    def test_all_evolving_owned_by_user06(self):
+        assert all(t.user == "user06" for t in ESP_JOB_TYPES if t.is_evolving)
+
+    def test_rigid_types_have_unique_users(self):
+        users = [t.user for t in ESP_JOB_TYPES if not t.is_evolving]
+        assert len(users) == len(set(users))
+
+    def test_paper_set_values(self):
+        by_letter = {t.letter: t for t in ESP_JOB_TYPES}
+        assert by_letter["A"].static_execution_time == 267.0
+        assert by_letter["F"].static_execution_time == 1846.0
+        assert by_letter["Z"].static_execution_time == 100.0
+
+    def test_paper_det_values(self):
+        by_letter = {t.letter: t for t in ESP_JOB_TYPES}
+        assert by_letter["F"].paper_det == 1230.0
+        assert by_letter["I"].paper_det == 716.0
+        assert by_letter["A"].paper_det is None
+
+    def test_z_uses_whole_machine(self):
+        z = next(t for t in ESP_JOB_TYPES if t.letter == "Z")
+        assert z.fraction == 1.0 and z.count == 2
+
+
+class TestCoreCounts:
+    def test_fraction_rounding_on_120(self):
+        assert esp_core_count(0.03125, 120) == 4
+        assert esp_core_count(0.5, 120) == 60
+        assert esp_core_count(1.0, 120) == 120
+        assert esp_core_count(0.1582, 120) == 19
+
+    def test_minimum_one_core(self):
+        assert esp_core_count(0.001, 120) == 1
+
+
+class TestDynamicRuntimeModel:
+    def test_det_matches_paper_for_i_and_j(self):
+        # paper: I 1432 -> 716 (4 cores), J 725 -> 483 (8 cores)
+        assert expected_dynamic_runtime(1432, 4, 4, 0.0) == pytest.approx(716.0)
+        assert expected_dynamic_runtime(725, 8, 4, 0.0) == pytest.approx(483.3, abs=0.5)
+
+    def test_det_close_to_paper_for_f(self):
+        assert expected_dynamic_runtime(1846, 8, 4, 0.0) == pytest.approx(1230.7, abs=1)
+
+    def test_grant_at_sixteen_percent(self):
+        # f*SET + (1-f)*SET*c/(c+4)
+        assert expected_dynamic_runtime(1000, 4, 4, 0.16) == pytest.approx(580.0)
+
+    def test_no_grant_degenerates_to_set(self):
+        assert expected_dynamic_runtime(1000, 4, 4, 1.0) == pytest.approx(1000.0)
+
+
+class TestSubmissionProtocol:
+    def test_first_burst_instant(self):
+        regular, _ = esp_submission_times(228, 2)
+        assert regular[:50] == [0.0] * 50
+
+    def test_thirty_second_spacing(self):
+        regular, _ = esp_submission_times(228, 2)
+        assert regular[50] == 30.0
+        assert regular[227] == 178 * 30.0
+
+    def test_z_jobs_thirty_minutes_after_last(self):
+        regular, z_times = esp_submission_times(228, 2)
+        assert z_times[0] == regular[-1] + minutes(30)
+        assert z_times[1] == z_times[0] + 30.0
+
+    def test_short_workloads(self):
+        regular, z_times = esp_submission_times(10, 1, burst=50)
+        assert regular == [0.0] * 10
+        assert z_times == [minutes(30)]
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            esp_submission_times(-1, 0)
+
+
+class TestMakeEspWorkload:
+    def test_counts_and_types(self):
+        wl = make_esp_workload(120, dynamic=True)
+        assert wl.total_jobs == 230
+        assert wl.evolving_jobs == 69
+        by_type = {}
+        for spec in wl:
+            by_type[spec.esp_type] = by_type.get(spec.esp_type, 0) + 1
+        assert by_type["A"] == 75 and by_type["Z"] == 2
+
+    def test_static_variant_has_no_evolving_jobs(self):
+        wl = make_esp_workload(120, dynamic=False)
+        assert wl.evolving_jobs == 0
+        assert wl.total_jobs == 230
+
+    def test_deterministic_for_seed(self):
+        order1 = [s.esp_type for s in make_esp_workload(120, seed=5)]
+        order2 = [s.esp_type for s in make_esp_workload(120, seed=5)]
+        assert order1 == order2
+
+    def test_seed_changes_order(self):
+        order1 = [s.esp_type for s in make_esp_workload(120, seed=1)]
+        order2 = [s.esp_type for s in make_esp_workload(120, seed=2)]
+        assert order1 != order2
+
+    def test_z_jobs_last_and_top_priority(self):
+        wl = make_esp_workload(120)
+        z_specs = [s for s in wl if s.esp_type == "Z"]
+        assert all(s.top_priority for s in z_specs)
+        assert all(
+            s.submit_time > max(r.submit_time for r in wl if r.esp_type != "Z")
+            for s in z_specs
+        )
+
+    def test_evolution_profile_fractions(self):
+        wl = make_esp_workload(120, dynamic=True)
+        evolving = next(s for s in wl if s.evolution is not None)
+        step = evolving.evolution.steps[0]
+        assert step.at_fraction == ESP_REQUEST_FRACTION == 0.16
+        assert step.retry_fractions == (ESP_RETRY_FRACTION,) == (0.25,)
+        assert step.request.cores == ESP_EXTRA_CORES == 4
+
+    def test_walltime_factor(self):
+        wl = make_esp_workload(120, walltime_factor=1.5)
+        spec = next(s for s in wl if s.esp_type == "A")
+        assert spec.walltime == pytest.approx(267.0 * 1.5)
+        with pytest.raises(ValueError):
+            make_esp_workload(120, walltime_factor=0.9)
+
+    def test_scales_to_other_machines(self):
+        wl = make_esp_workload(64)
+        z = next(s for s in wl if s.esp_type == "Z")
+        assert z.request.cores == 64

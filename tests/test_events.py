@@ -1,0 +1,65 @@
+"""Tests for the trace log."""
+
+from repro.sim.events import EventKind, TraceLog
+
+
+class TestTraceLog:
+    def test_record_and_len(self):
+        log = TraceLog()
+        log.record(1.0, EventKind.JOB_SUBMIT, job_id="j1")
+        log.record(2.0, EventKind.JOB_START, job_id="j1")
+        assert len(log) == 2
+
+    def test_record_returns_event(self):
+        log = TraceLog()
+        ev = log.record(1.5, EventKind.DYN_GRANT, job_id="j1", cores=4)
+        assert ev.time == 1.5
+        assert ev.kind is EventKind.DYN_GRANT
+        assert ev.payload == {"job_id": "j1", "cores": 4}
+
+    def test_iteration_preserves_order(self):
+        log = TraceLog()
+        for i in range(5):
+            log.record(float(i), EventKind.SCHED_ITERATION, n=i)
+        assert [e.payload["n"] for e in log] == list(range(5))
+
+    def test_of_kind(self):
+        log = TraceLog()
+        log.record(1.0, EventKind.JOB_SUBMIT, job_id="a")
+        log.record(2.0, EventKind.JOB_START, job_id="a")
+        log.record(3.0, EventKind.JOB_SUBMIT, job_id="b")
+        submits = log.of_kind(EventKind.JOB_SUBMIT)
+        assert [e.payload["job_id"] for e in submits] == ["a", "b"]
+
+    def test_for_job(self):
+        log = TraceLog()
+        log.record(1.0, EventKind.JOB_SUBMIT, job_id="a")
+        log.record(2.0, EventKind.JOB_SUBMIT, job_id="b")
+        log.record(3.0, EventKind.JOB_END, job_id="a")
+        assert len(log.for_job("a")) == 2
+        assert len(log.for_job("missing")) == 0
+
+    def test_count(self):
+        log = TraceLog()
+        for _ in range(3):
+            log.record(0.0, EventKind.DYN_REJECT, job_id="x")
+        assert log.count(EventKind.DYN_REJECT) == 3
+        assert log.count(EventKind.DYN_GRANT) == 0
+
+    def test_getitem(self):
+        log = TraceLog()
+        log.record(0.0, EventKind.NODE_FAIL, node=3)
+        assert log[0].payload["node"] == 3
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(0.0, EventKind.JOB_END, job_id="x")
+        log.clear()
+        assert len(log) == 0
+
+    def test_repr_is_compact(self):
+        log = TraceLog()
+        ev = log.record(1.25, EventKind.JOB_START, job_id="j", cores=8)
+        text = repr(ev)
+        assert "job_start" in text
+        assert "@1.25" in text

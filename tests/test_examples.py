@@ -1,0 +1,43 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation that executes; a broken example is a broken
+promise.  Each script runs in-process via runpy with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: every example and a string its output must contain
+EXPECTATIONS = {
+    "quickstart.py": "Dynamic grant",
+    "fig1_scenario.py": "rejected",
+    "deallocation.py": "released",
+    "quadflow_case.py": "Cylinder",
+    "negotiation.py": "estimated availability",
+    "malleable_stealing.py": "shrink",
+    "weather_nesting.py": "storms tracked",
+    "fairness_tuning.py": "DFSSINGLEANDTARGETDELAY",
+    "baselines_comparison.py": "Guaranteeing",
+    "esp_campaign.py": "Dyn-600",
+    "deep_booster.py": "kernels offloaded",
+}
+
+
+def test_every_example_has_an_expectation():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTATIONS), (
+        "examples and EXPECTATIONS out of sync — add the new script here"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert EXPECTATIONS[script] in out, f"{script} output missing marker"

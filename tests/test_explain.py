@@ -1,0 +1,68 @@
+"""Tests for scheduler.explain (the checkjob-style diagnostic)."""
+
+import pytest
+
+from repro.apps.synthetic import FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.job import Job
+from repro.maui.config import MauiConfig
+from repro.system import BatchSystem
+
+
+def job(cores, walltime=100.0, user="u", **kw):
+    return Job(request=ResourceRequest(cores=cores), walltime=walltime, user=user, **kw)
+
+
+class TestExplain:
+    def test_running_job(self, system):
+        j = system.submit(job(8), FixedRuntimeApp(100.0))
+        system.run(until=0.0)
+        info = system.scheduler.explain(j)
+        assert info["state"] == "running"
+        assert info["planned_start"] == 0.0
+
+    def test_blocked_by_resources_with_planned_start(self, system):
+        a = system.submit(job(32, walltime=300.0), FixedRuntimeApp(300.0))
+        b = system.submit(job(32, walltime=100.0), FixedRuntimeApp(100.0))
+        system.run(until=0.0)
+        info = system.scheduler.explain(b)
+        assert info["state"] == "queued"
+        assert info["blocked_by"] == "resources"
+        assert info["planned_start"] == pytest.approx(300.0)
+        assert info["queue_position"] == 0
+
+    def test_blocked_by_dependency(self, system):
+        a = system.submit(job(4, walltime=300.0), FixedRuntimeApp(300.0))
+        b = system.submit(job(4, depends_on=a.job_id), FixedRuntimeApp(50.0))
+        system.run(until=0.0)
+        info = system.scheduler.explain(b)
+        assert info["blocked_by"] == f"dependency on {a.job_id}"
+
+    def test_blocked_by_throttling(self):
+        system = BatchSystem(4, 8, MauiConfig(max_running_jobs_per_user=1))
+        a = system.submit(job(4, user="hog"), FixedRuntimeApp(300.0))
+        b = system.submit(job(4, user="hog"), FixedRuntimeApp(300.0))
+        system.run(until=0.0)
+        info = system.scheduler.explain(b)
+        assert info["blocked_by"] == "throttling policy"
+
+    def test_impossible_request(self, system):
+        j = system.submit(job(64), FixedRuntimeApp(100.0))  # 32-core machine
+        system.run(until=0.0)
+        info = system.scheduler.explain(j)
+        assert info["blocked_by"] == "request can never fit"
+
+    def test_finished_job(self, system):
+        j = system.submit(job(8), FixedRuntimeApp(50.0))
+        system.run()
+        info = system.scheduler.explain(j)
+        assert info["state"] == "completed"
+
+    def test_no_side_effects(self, system):
+        a = system.submit(job(32, walltime=300.0), FixedRuntimeApp(300.0))
+        b = system.submit(job(32, walltime=100.0), FixedRuntimeApp(100.0))
+        system.run(until=0.0)
+        before = system.scheduler.stats["reservations_created"]
+        system.scheduler.explain(b)
+        assert system.scheduler.stats["reservations_created"] == before
+        assert b.state.value == "queued"

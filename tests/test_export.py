@@ -1,0 +1,46 @@
+"""Tests for the JSON artifact export."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import export_all, export_json
+
+
+@pytest.fixture(scope="module")
+def data():
+    # fig12 timing is wall-clock noise; exclude it for a fast, stable test
+    return export_all(seed=2014, include_fig12=False)
+
+
+class TestExportAll:
+    def test_top_level_keys(self, data):
+        assert {"paper", "seed", "table1", "table2", "fig7_quadflow",
+                "fig8_to_11_waits"} <= set(data)
+
+    def test_table2_rows(self, data):
+        names = [row["config"] for row in data["table2"]]
+        assert names == ["Static", "Dyn-HP", "Dyn-500", "Dyn-600"]
+        for row in data["table2"]:
+            assert "paper_reference" in row
+            assert row["util_pct"] > 0
+
+    def test_wait_series_complete(self, data):
+        assert len(data["fig8_to_11_waits"]) == 230
+        first = data["fig8_to_11_waits"][0]
+        assert {"index", "type", "Static", "Dyn-HP", "Dyn-500", "Dyn-600"} <= set(first)
+
+    def test_quadflow_entries(self, data):
+        assert len(data["fig7_quadflow"]) == 6
+        dynamic = [r for r in data["fig7_quadflow"] if r["scenario"] == "dynamic"]
+        assert all(r["expanded_at_phase"] is not None for r in dynamic)
+
+    def test_json_serialisable(self, data):
+        text = json.dumps(data)
+        assert json.loads(text) == json.loads(json.dumps(data))
+
+
+def test_export_json_round_trips():
+    text = export_json(seed=2014, include_fig12=False)
+    parsed = json.loads(text)
+    assert parsed["seed"] == 2014

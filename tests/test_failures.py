@@ -1,0 +1,116 @@
+"""Tests for node-failure handling (fault tolerance, paper Section I)."""
+
+import pytest
+
+from repro.apps.synthetic import FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.cluster.node import NodeState
+from repro.jobs.job import Job, JobState
+from repro.maui.config import MauiConfig
+from repro.sim.events import EventKind
+from repro.system import BatchSystem
+
+
+def rigid(cores, walltime, user="u"):
+    return Job(request=ResourceRequest(cores=cores), walltime=walltime, user=user)
+
+
+class TestNodeFailure:
+    def test_affected_jobs_requeued_and_restarted(self, system):
+        job = system.submit(rigid(32, 1000), FixedRuntimeApp(400.0))
+        system.run(until=100.0)
+        failed = job.allocation.node_indices[0]
+        system.server.handle_node_failure(failed)
+        system.run(until=100.0)
+        # the 32-core job cannot restart with one node down (24 cores left)
+        assert job.state is JobState.QUEUED
+        system.server.recover_node(failed)
+        system.run()
+        assert job.state is JobState.COMPLETED
+        assert job.metadata["node_failures"] == 1
+
+    def test_unaffected_jobs_keep_running(self, system):
+        a = system.submit(rigid(8, 1000, "a"), FixedRuntimeApp(1000.0))
+        b = system.submit(rigid(8, 1000, "b"), FixedRuntimeApp(1000.0))
+        system.run(until=10.0)
+        node_a = a.allocation.node_indices[0]
+        node_b = b.allocation.node_indices[0]
+        assert node_a != node_b
+        system.server.handle_node_failure(node_a)
+        system.run(until=10.0)
+        assert b.state is JobState.RUNNING
+
+    def test_restart_on_surviving_nodes(self, system):
+        job = system.submit(rigid(8, 1000), FixedRuntimeApp(300.0))
+        system.run(until=50.0)
+        failed = job.allocation.node_indices[0]
+        system.server.handle_node_failure(failed)
+        system.run()
+        assert job.state is JobState.COMPLETED
+        assert failed not in job.allocation
+        # restarted from scratch at t=50
+        assert job.end_time == pytest.approx(350.0)
+
+    def test_abort_mode(self, system):
+        job = system.submit(rigid(8, 1000), FixedRuntimeApp(300.0))
+        system.run(until=50.0)
+        failed = job.allocation.node_indices[0]
+        system.server.handle_node_failure(failed, requeue=False)
+        assert job.state is JobState.ABORTED
+
+    def test_trace_records_failure_and_recovery(self, system):
+        job = system.submit(rigid(8, 1000), FixedRuntimeApp(300.0))
+        system.run(until=10.0)
+        failed = job.allocation.node_indices[0]
+        system.server.handle_node_failure(failed)
+        system.server.recover_node(failed)
+        fails = system.trace.of_kind(EventKind.NODE_FAIL)
+        assert fails[0].payload["node"] == failed
+        assert fails[0].payload["affected"] == [job.job_id]
+        assert system.trace.count(EventKind.NODE_RECOVER) == 1
+
+    def test_failure_of_idle_node_affects_nobody(self, system):
+        job = system.submit(rigid(8, 1000), FixedRuntimeApp(300.0))
+        system.run(until=10.0)
+        idle = next(
+            n.index for n in system.cluster.nodes if n.index not in job.allocation
+        )
+        affected = system.server.handle_node_failure(idle)
+        assert affected == []
+        assert job.state is JobState.RUNNING
+        assert system.cluster.node(idle).state is NodeState.DOWN
+
+    def test_spare_capacity_absorbs_failure(self):
+        # with spare nodes, the affected job restarts immediately elsewhere
+        system = BatchSystem(4, 8, MauiConfig())
+        job = system.submit(rigid(8, 1000), FixedRuntimeApp(200.0))
+        system.run(until=20.0)
+        failed = job.allocation.node_indices[0]
+        system.server.handle_node_failure(failed)
+        system.run(until=20.0)
+        assert job.state is JobState.RUNNING
+        assert failed not in job.allocation
+
+
+class TestFailureDuringESP:
+    def test_esp_survives_mid_run_node_failure(self):
+        """Fail a node mid-ESP; the workload still drains consistently."""
+        from repro.metrics.validate import validate_trace
+        from repro.maui.config import MauiConfig
+        from repro.workloads.esp import make_esp_workload
+
+        system = BatchSystem(
+            15, 8, MauiConfig(reservation_depth=5, reservation_delay_depth=5)
+        )
+        make_esp_workload(120, dynamic=True, seed=2014).submit_to(system)
+        system.engine.at(3000.0, system.server.handle_node_failure, 7)
+        system.engine.at(6000.0, system.server.recover_node, 7)
+        system.run(max_events=5_000_000)
+        jobs = list(system.server.jobs.values())
+        assert all(j.is_finished for j in jobs)
+        # requeued jobs completed on their second attempt
+        requeued = [j for j in jobs if j.metadata.get("node_failures")]
+        assert requeued, "the failure should have hit at least one job"
+        assert all(j.state is JobState.COMPLETED for j in requeued)
+        assert validate_trace(system.trace, system.cluster) == []
+        assert system.cluster.used_cores == 0

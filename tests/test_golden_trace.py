@@ -1,0 +1,121 @@
+"""Golden-trace regression tests.
+
+A hand-analysed scenario with its exact expected event sequence: any change
+to scheduler ordering, priorities or the dynamic path that alters observable
+behaviour fails here loudly, with the full diff in the assertion message.
+"""
+
+import pytest
+
+from repro.apps.synthetic import EvolvingWorkApp, FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.evolution import EvolutionProfile
+from repro.jobs.job import Job, JobFlexibility
+from repro.maui.config import MauiConfig
+from repro.sim.events import EventKind
+from repro.system import BatchSystem
+
+#: event kinds that define observable scheduling behaviour (iteration and
+#: reservation chatter excluded: their count is an implementation detail)
+OBSERVABLE = {
+    EventKind.JOB_SUBMIT,
+    EventKind.JOB_START,
+    EventKind.BACKFILL_START,
+    EventKind.JOB_END,
+    EventKind.JOB_ABORT,
+    EventKind.DYN_REQUEST,
+    EventKind.DYN_GRANT,
+    EventKind.DYN_REJECT,
+    EventKind.DYN_RELEASE,
+}
+
+
+def observable_trace(system):
+    return [
+        (round(e.time, 3), e.kind.value, e.payload.get("job_id"))
+        for e in system.trace
+        if e.kind in OBSERVABLE
+    ]
+
+
+def test_golden_mixed_scenario():
+    """2 nodes x 8; one rigid blocker, one backfill, one evolving job.
+
+    Hand analysis:
+      t=0    a(8c,300s) starts; wide(16c) blocked, reserved at t=300;
+             small(8c,100s) backfills beside a; evo(4c) cannot backfill
+             (walltime 1000 crosses wide's reservation).
+      t=100  small ends.
+      t=300  a ends; wide starts (16c, 200s).
+      t=500  wide ends; evo starts (4c).
+      t=660  evo requests +4 at 16% of SET=1000; 12 cores idle -> granted.
+      t=1080 evo ends (160 + 840/2 = 580 after its start at 500).
+    """
+    system = BatchSystem(2, 8, MauiConfig())
+    a = system.submit(
+        Job(request=ResourceRequest(cores=8), walltime=300.0, user="a"),
+        FixedRuntimeApp(300.0),
+    )
+    wide = system.submit(
+        Job(request=ResourceRequest(cores=16), walltime=200.0, user="w"),
+        FixedRuntimeApp(200.0),
+    )
+    small = system.submit(
+        Job(request=ResourceRequest(cores=8), walltime=100.0, user="s"),
+        FixedRuntimeApp(100.0),
+    )
+    evo = system.submit(
+        Job(
+            request=ResourceRequest(cores=4),
+            walltime=1000.0,
+            user="e",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.esp_default(),
+        ),
+        EvolvingWorkApp(1000.0),
+    )
+    system.run()
+
+    expected = [
+        (0.0, "job_submit", a.job_id),
+        (0.0, "job_submit", wide.job_id),
+        (0.0, "job_submit", small.job_id),
+        (0.0, "job_submit", evo.job_id),
+        (0.0, "job_start", a.job_id),
+        (0.0, "backfill_start", small.job_id),
+        (100.0, "job_end", small.job_id),
+        (300.0, "job_end", a.job_id),
+        (300.0, "job_start", wide.job_id),
+        (500.0, "job_end", wide.job_id),
+        (500.0, "job_start", evo.job_id),
+        (660.0, "dyn_request", evo.job_id),
+        (660.0, "dyn_grant", evo.job_id),
+        (1080.0, "job_end", evo.job_id),
+    ]
+    assert observable_trace(system) == expected
+
+
+def test_golden_static_rejection_scenario():
+    """Algorithm 1 (dynamic disabled): the request is rejected, retry too."""
+    system = BatchSystem(1, 8, MauiConfig(dynamic_enabled=False))
+    evo = system.submit(
+        Job(
+            request=ResourceRequest(cores=4),
+            walltime=1000.0,
+            user="e",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.esp_default(),
+        ),
+        EvolvingWorkApp(1000.0),
+    )
+    system.run()
+    expected = [
+        (0.0, "job_submit", evo.job_id),
+        (0.0, "job_start", evo.job_id),
+        (160.0, "dyn_request", evo.job_id),
+        (160.0, "dyn_reject", evo.job_id),
+        (250.0, "dyn_request", evo.job_id),
+        (250.0, "dyn_reject", evo.job_id),
+        (1000.0, "job_end", evo.job_id),
+    ]
+    assert observable_trace(system) == expected

@@ -1,0 +1,84 @@
+"""Tests on heterogeneous clusters (mixed core counts per node).
+
+The paper's testbed is homogeneous, but nothing in the design requires it —
+the availability profile and the scheduler are per-node throughout.  These
+tests pin that property down.
+"""
+
+import pytest
+
+from repro.apps.synthetic import EvolvingWorkApp, FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.cluster.machine import Cluster
+from repro.cluster.node import Node
+from repro.jobs.evolution import EvolutionProfile
+from repro.jobs.job import Job, JobFlexibility, JobState
+from repro.maui.config import MauiConfig
+from repro.metrics.validate import validate_trace
+from repro.system import BatchSystem
+from repro.workloads.random_workload import make_random_workload
+
+
+def hetero_cluster():
+    """4 + 8 + 16 + 32 cores = 60 total."""
+    return Cluster(
+        [
+            Node(index=0, cores=4),
+            Node(index=1, cores=8),
+            Node(index=2, cores=16),
+            Node(index=3, cores=32),
+        ]
+    )
+
+
+class TestHeterogeneous:
+    def test_total_capacity(self):
+        assert hetero_cluster().total_cores == 60
+
+    def test_shaped_request_needs_wide_enough_nodes(self):
+        cluster = hetero_cluster()
+        # ppn=16 fits only nodes 2 and 3
+        alloc = cluster.find_allocation(ResourceRequest(nodes=2, ppn=16))
+        assert alloc is not None
+        assert set(alloc.keys()) == {2, 3}
+        assert cluster.find_allocation(ResourceRequest(nodes=3, ppn=16)) is None
+
+    def test_flexible_spans_mixed_nodes(self):
+        system = BatchSystem(cluster=hetero_cluster(), config=MauiConfig())
+        job = Job(request=ResourceRequest(cores=60), walltime=100.0)
+        system.submit(job, FixedRuntimeApp(100.0))
+        system.run()
+        assert job.state is JobState.COMPLETED
+
+    def test_reservation_respects_node_shapes(self):
+        system = BatchSystem(cluster=hetero_cluster(), config=MauiConfig())
+        # fill the 32-core node
+        hog = Job(request=ResourceRequest(nodes=1, ppn=32), walltime=500.0)
+        system.submit(hog, FixedRuntimeApp(500.0))
+        # ppn=32 only exists on node 3: must wait for the hog
+        wide = Job(request=ResourceRequest(nodes=1, ppn=32), walltime=100.0)
+        system.submit(wide, FixedRuntimeApp(100.0))
+        system.run()
+        assert wide.start_time == pytest.approx(500.0)
+
+    def test_dynamic_grant_on_mixed_nodes(self):
+        system = BatchSystem(cluster=hetero_cluster(), config=MauiConfig())
+        evo = Job(
+            request=ResourceRequest(cores=4),
+            walltime=1000.0,
+            user="evo",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=40)),
+        )
+        system.submit(evo, EvolvingWorkApp(1000.0))
+        system.run(until=300.0)
+        assert evo.dyn_granted == 1
+        assert evo.allocation.total_cores == 44
+
+    def test_random_workload_drains_and_validates(self):
+        system = BatchSystem(cluster=hetero_cluster(), config=MauiConfig())
+        make_random_workload(40, 60, size_range=(1, 32), seed=5).submit_to(system)
+        system.run(max_events=100_000)
+        assert all(j.is_finished for j in system.server.jobs.values())
+        assert validate_trace(system.trace, system.cluster) == []
+        assert system.cluster.used_cores == 0

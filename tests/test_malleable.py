@@ -1,0 +1,149 @@
+"""Tests for malleable-job support (scheduler-initiated shrink).
+
+Resource source #3 of Section II-B: "stealing resources from malleable
+jobs".  The scheduler asks a running malleable job to shrink when idle
+resources do not cover a dynamic request; the application releases what it
+can afford above its minimum and keeps computing more slowly.
+"""
+
+import pytest
+
+from repro.apps.synthetic import EvolvingWorkApp, FixedRuntimeApp, MalleableWorkApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.evolution import EvolutionProfile
+from repro.jobs.job import Job, JobFlexibility, JobState
+from repro.maui.config import MauiConfig
+from repro.system import BatchSystem
+
+
+def malleable_job(cores=8, walltime=5000.0, user="mall"):
+    return Job(
+        request=ResourceRequest(cores=cores),
+        walltime=walltime,
+        user=user,
+        flexibility=JobFlexibility.MALLEABLE,
+    )
+
+
+def evolving_job(cores=4, walltime=1000.0, user="evo", extra=4):
+    return Job(
+        request=ResourceRequest(cores=cores),
+        walltime=walltime,
+        user=user,
+        flexibility=JobFlexibility.EVOLVING,
+        evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=extra)),
+    )
+
+
+class TestRequestShrink:
+    def test_shrink_via_server(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        job = malleable_job(cores=8)
+        app = MalleableWorkApp(1000.0, min_cores=4)
+        system.submit(job, app)
+        system.run(until=0.0)
+        released = system.server.request_shrink(job, 2)
+        assert released == 2
+        assert job.allocation.total_cores == 6
+        assert app.shrunk_by == 2
+
+    def test_shrink_respects_min_cores(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        job = malleable_job(cores=8)
+        system.submit(job, MalleableWorkApp(1000.0, min_cores=6))
+        system.run(until=0.0)
+        assert system.server.request_shrink(job, 100) == 2
+
+    def test_non_malleable_job_returns_zero(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        job = Job(request=ResourceRequest(cores=8), walltime=100.0)
+        system.submit(job, FixedRuntimeApp(100.0))
+        system.run(until=0.0)
+        assert system.server.request_shrink(job, 4) == 0
+
+    def test_shrink_slows_completion(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        job = malleable_job(cores=8, walltime=4000.0)
+        system.submit(job, MalleableWorkApp(1000.0, min_cores=4))
+        system.run(until=500.0)
+        system.server.request_shrink(job, 4)
+        system.run()
+        # 500s at full speed, then 500s of work at half speed
+        assert job.end_time == pytest.approx(500.0 + 1000.0)
+        assert job.state is JobState.COMPLETED
+
+    def test_invalid_shrink_request(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        job = malleable_job()
+        system.submit(job, MalleableWorkApp(1000.0))
+        system.run(until=0.0)
+        with pytest.raises(ValueError):
+            system.server.request_shrink(job, 0)
+
+    def test_min_cores_validation(self):
+        with pytest.raises(ValueError):
+            MalleableWorkApp(1000.0, min_cores=0)
+
+
+class TestMalleableStealing:
+    def test_dynamic_request_served_by_shrinking(self):
+        config = MauiConfig(malleable_steal_for_dynamic=True)
+        system = BatchSystem(1, 12, config)
+        evo = system.submit(evolving_job(cores=4), EvolvingWorkApp(1000.0))
+        mall = system.submit(
+            malleable_job(cores=8, walltime=8000.0), MalleableWorkApp(2000.0, min_cores=1)
+        )
+        system.run(until=200.0)
+        # at t=160 nothing is idle; the malleable job shrinks 8 -> 4
+        assert evo.dyn_granted == 1
+        assert mall.allocation.total_cores == 4
+        assert system.scheduler.stats["malleable_shrinks"] >= 1
+
+    def test_no_stealing_when_disabled(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        evo = system.submit(evolving_job(cores=4), EvolvingWorkApp(1000.0))
+        mall = system.submit(
+            malleable_job(cores=4, walltime=8000.0), MalleableWorkApp(2000.0, min_cores=1)
+        )
+        system.run(until=200.0)
+        assert evo.dyn_granted == 0
+        assert mall.allocation.total_cores == 4
+
+    def test_evolving_job_not_asked_to_shrink_for_itself(self):
+        config = MauiConfig(malleable_steal_for_dynamic=True)
+        system = BatchSystem(1, 8, config)
+        # a malleable AND evolving machine state: only the malleable other
+        # job may be shrunk, never the requester
+        evo = system.submit(evolving_job(cores=8), EvolvingWorkApp(1000.0))
+        system.run(until=200.0)
+        assert evo.allocation.total_cores == 8  # nothing shrunk, no grant
+        assert evo.dyn_granted == 0
+
+    def test_shaped_requests_not_served_by_stealing(self):
+        config = MauiConfig(malleable_steal_for_dynamic=True)
+        system = BatchSystem(1, 8, config)
+        evo = Job(
+            request=ResourceRequest(cores=4),
+            walltime=1000.0,
+            user="evo",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.single(0.16, ResourceRequest(nodes=1, ppn=4)),
+        )
+        system.submit(evo, EvolvingWorkApp(1000.0))
+        system.submit(
+            malleable_job(cores=4, walltime=8000.0), MalleableWorkApp(2000.0, min_cores=1)
+        )
+        system.run(until=200.0)
+        assert evo.dyn_granted == 0  # whole-node shapes can't be stolen piecemeal
+
+    def test_both_jobs_complete_after_steal(self):
+        config = MauiConfig(malleable_steal_for_dynamic=True)
+        system = BatchSystem(1, 8, config)
+        evo = system.submit(evolving_job(cores=4), EvolvingWorkApp(1000.0))
+        mall = system.submit(
+            malleable_job(cores=4, walltime=10000.0), MalleableWorkApp(1000.0, min_cores=1)
+        )
+        system.run()
+        assert evo.state is JobState.COMPLETED
+        assert mall.state is JobState.COMPLETED
+        assert system.cluster.used_cores == 0

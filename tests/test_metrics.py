@@ -1,0 +1,236 @@
+"""Tests for metrics: busy-core timeline, workload metrics, reports."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.synthetic import FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.job import Job
+from repro.maui.config import MauiConfig
+from repro.metrics.report import render_histogram_row, render_series, render_table
+from repro.metrics.stats import busy_core_seconds, describe, utilization_timeline
+from repro.sim.events import EventKind, TraceLog
+from repro.system import BatchSystem
+
+
+class TestUtilizationTimeline:
+    def test_single_job(self):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.JOB_START, job_id="a", cores=8)
+        trace.record(10.0, EventKind.JOB_END, job_id="a", cores=8)
+        times, busy = utilization_timeline(trace)
+        assert list(times) == [0.0, 10.0]
+        assert list(busy) == [8, 0]
+
+    def test_expansion_and_release(self):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.JOB_START, job_id="a", cores=4)
+        trace.record(5.0, EventKind.DYN_GRANT, job_id="a", cores=4)
+        trace.record(8.0, EventKind.DYN_RELEASE, job_id="a", cores=2)
+        trace.record(10.0, EventKind.JOB_END, job_id="a", cores=6)
+        times, busy = utilization_timeline(trace)
+        assert list(busy) == [4, 8, 6, 0]
+
+    def test_preempt_releases(self):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.BACKFILL_START, job_id="a", cores=8)
+        trace.record(4.0, EventKind.PREEMPT, job_id="a", cores=8)
+        _, busy = utilization_timeline(trace)
+        assert list(busy) == [8, 0]
+
+    def test_inconsistent_trace_rejected(self):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.JOB_END, job_id="a", cores=8)
+        with pytest.raises(ValueError):
+            utilization_timeline(trace)
+
+    def test_empty_trace(self):
+        times, busy = utilization_timeline(TraceLog())
+        assert list(busy) == [0]
+
+    def test_busy_core_seconds_integral(self):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.JOB_START, job_id="a", cores=10)
+        trace.record(10.0, EventKind.JOB_END, job_id="a", cores=10)
+        assert busy_core_seconds(trace, 0.0, 10.0) == 100.0
+        assert busy_core_seconds(trace, 5.0, 15.0) == 50.0
+        assert busy_core_seconds(trace, 10.0, 20.0) == 0.0
+        assert busy_core_seconds(trace, 5.0, 5.0) == 0.0
+
+
+class TestWorkloadMetrics:
+    def _run_simple(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        jobs = [
+            Job(request=ResourceRequest(cores=8), walltime=100.0, user="a"),
+            Job(request=ResourceRequest(cores=8), walltime=100.0, user="b"),
+        ]
+        for job in jobs:
+            system.submit(job, FixedRuntimeApp(100.0))
+        system.run()
+        return system, jobs
+
+    def test_workload_time(self):
+        system, _ = self._run_simple()
+        m = system.metrics()
+        assert m.workload_time == 100.0
+        assert m.workload_time_minutes == pytest.approx(100 / 60)
+
+    def test_full_utilization(self):
+        system, _ = self._run_simple()
+        assert system.metrics().utilization == pytest.approx(1.0)
+
+    def test_half_utilization(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        system.submit(
+            Job(request=ResourceRequest(cores=8), walltime=100.0, user="a"),
+            FixedRuntimeApp(100.0),
+        )
+        system.run()
+        assert system.metrics().utilization == pytest.approx(0.5)
+
+    def test_throughput(self):
+        system, _ = self._run_simple()
+        m = system.metrics()
+        assert m.completed_jobs == 2
+        assert m.throughput_jobs_per_minute == pytest.approx(2 / (100 / 60))
+
+    def test_throughput_increase(self):
+        system, _ = self._run_simple()
+        m = system.metrics()
+        assert m.throughput_increase_vs(m) == 0.0
+
+    def test_wait_series_in_submission_order(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        a = Job(request=ResourceRequest(cores=8), walltime=50.0, user="a")
+        b = Job(request=ResourceRequest(cores=8), walltime=50.0, user="b")
+        system.submit(a, FixedRuntimeApp(50.0))
+        system.submit(b, FixedRuntimeApp(50.0))
+        system.run()
+        series = system.metrics().wait_times_by_submission()
+        assert series == [(0, 0.0), (1, 50.0)]
+
+    def test_mean_wait_and_turnaround(self):
+        system, _ = self._run_simple()
+        m = system.metrics()
+        assert m.mean_wait == 0.0
+        assert m.mean_turnaround == 100.0
+
+    def test_records_for_user(self):
+        system, _ = self._run_simple()
+        assert len(system.metrics().records_for_user("a")) == 1
+
+
+class TestDescribe:
+    def test_empty(self):
+        assert describe([])["count"] == 0
+
+    def test_basic_stats(self):
+        stats = describe([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == 2.5
+        assert stats["median"] == 2.5
+        assert stats["max"] == 4.0
+
+
+class TestReports:
+    def test_render_table_alignment(self):
+        text = render_table(["Name", "Value"], [["a", 1], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert "Name" in lines[0]
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_render_table_with_title(self):
+        text = render_table(["X"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_render_series_subsampling(self):
+        points = [(float(i), float(i * 2)) for i in range(100)]
+        text = render_series("s", points, max_points=10)
+        assert "every" in text
+        assert len(text.splitlines()) < 30
+
+    def test_render_histogram_row(self):
+        row = render_histogram_row("label", 5.0, scale=10.0, width=10)
+        assert row.count("#") == 5
+
+    def test_render_histogram_row_zero_scale(self):
+        row = render_histogram_row("label", 5.0, scale=0.0, width=10)
+        assert row.count("#") == 0
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=1.0, max_value=100.0),
+            st.integers(min_value=1, max_value=16),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_property_busy_integral_matches_job_areas(jobs):
+    """The busy-core integral equals the sum of cores x duration per job."""
+    trace = TraceLog()
+    events = []
+    for i, (start, dur, cores) in enumerate(jobs):
+        events.append((start, EventKind.JOB_START, f"j{i}", cores))
+        events.append((start + dur, EventKind.JOB_END, f"j{i}", cores))
+    for t, kind, jid, cores in sorted(events, key=lambda e: e[0]):
+        trace.record(t, kind, job_id=jid, cores=cores)
+    expected = sum(dur * cores for _, dur, cores in jobs)
+    assert busy_core_seconds(trace, 0.0, 1e9) == pytest.approx(expected)
+
+
+class TestBoundedSlowdown:
+    def test_no_wait_is_one(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        system.submit(
+            Job(request=ResourceRequest(cores=8), walltime=100.0), FixedRuntimeApp(100.0)
+        )
+        system.run()
+        assert system.metrics().mean_bounded_slowdown() == pytest.approx(1.0)
+
+    def test_waiting_doubles_slowdown(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        for _ in range(2):
+            system.submit(
+                Job(request=ResourceRequest(cores=8), walltime=100.0),
+                FixedRuntimeApp(100.0),
+            )
+        system.run()
+        values = sorted(system.metrics().bounded_slowdowns())
+        assert values == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_tau_clamps_short_jobs(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        a = Job(request=ResourceRequest(cores=8), walltime=1000.0)
+        system.submit(a, FixedRuntimeApp(1000.0))
+        short = Job(request=ResourceRequest(cores=8), walltime=10.0)
+        system.submit(short, FixedRuntimeApp(1.0))
+        system.run()
+        # short job waited 1000s and ran 1s: unclamped slowdown would be 1001
+        values = system.metrics().bounded_slowdowns(tau=10.0)
+        assert max(values) == pytest.approx((1000.0 + 1.0) / 10.0)
+
+    def test_esp_slowdown_metric_caveat(self):
+        """Bounded slowdown penalises dynamic allocation by construction.
+
+        Grants shrink evolving jobs' runtimes, so the same wait divides by a
+        smaller denominator: Dyn-HP's mean slowdown is NOT below Static's
+        even though its mean wait and makespan are — a textbook reason the
+        paper reports waits and makespan rather than slowdown.  This test
+        pins the caveat so nobody "fixes" it into a misleading assertion.
+        """
+        from repro.experiments.runner import run_esp_configuration_cached
+
+        static = run_esp_configuration_cached("Static", seed=2014).metrics
+        dyn = run_esp_configuration_cached("Dyn-HP", seed=2014).metrics
+        assert dyn.mean_wait < static.mean_wait
+        assert all(v >= 1.0 for v in dyn.bounded_slowdowns())
+        # within a few percent of each other despite the denominator shift
+        ratio = dyn.mean_bounded_slowdown() / static.mean_bounded_slowdown()
+        assert 0.9 < ratio < 1.1

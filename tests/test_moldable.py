@@ -1,0 +1,104 @@
+"""Tests for moldable jobs (scheduler-chosen start size, paper Section I)."""
+
+import pytest
+
+from repro.apps.synthetic import FixedRuntimeApp, MoldableWorkApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.job import Job, JobFlexibility, JobState
+from repro.maui.config import MauiConfig
+from repro.system import BatchSystem
+
+
+def moldable(cores, min_cores, walltime, user="mold"):
+    return Job(
+        request=ResourceRequest(cores=cores),
+        walltime=walltime,
+        user=user,
+        flexibility=JobFlexibility.MOLDABLE,
+        min_cores=min_cores,
+    )
+
+
+def rigid(cores, walltime, user="r"):
+    return Job(request=ResourceRequest(cores=cores), walltime=walltime, user=user)
+
+
+class TestJobValidation:
+    def test_min_cores_requires_moldable(self):
+        with pytest.raises(ValueError, match="moldable"):
+            Job(request=ResourceRequest(cores=8), walltime=10.0, min_cores=4)
+
+    def test_min_cores_bounds(self):
+        with pytest.raises(ValueError):
+            moldable(8, 9, 10.0)
+
+    def test_shaped_moldable_rejected(self):
+        with pytest.raises(ValueError, match="flexible"):
+            Job(
+                request=ResourceRequest(nodes=1, ppn=8),
+                walltime=10.0,
+                flexibility=JobFlexibility.MOLDABLE,
+                min_cores=4,
+            )
+
+    def test_moldable_floor(self):
+        assert moldable(8, 4, 10.0).moldable_floor == 4
+        assert rigid(8, 10.0).moldable_floor == 8
+
+
+class TestMolding:
+    def test_full_request_when_room(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        job = moldable(16, 4, 1000.0)
+        system.submit(job, MoldableWorkApp(400.0))
+        system.run()
+        assert job.allocation.total_cores == 16
+        assert job.end_time == pytest.approx(400.0)
+        assert system.scheduler.stats["jobs_molded"] == 0
+
+    def test_molds_down_to_fit_now(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        blocker = system.submit(rigid(8, 2000.0), FixedRuntimeApp(2000.0))
+        job = moldable(16, 4, 4000.0)
+        system.submit(job, MoldableWorkApp(400.0))
+        system.run(until=0.0)
+        # only 8 cores free: the job starts molded to 8 instead of waiting
+        assert job.state is JobState.RUNNING
+        assert job.allocation.total_cores == 8
+        assert system.scheduler.stats["jobs_molded"] == 1
+
+    def test_molded_job_runs_proportionally_longer(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        system.submit(rigid(8, 2000.0), FixedRuntimeApp(2000.0))
+        job = moldable(16, 4, 4000.0)
+        system.submit(job, MoldableWorkApp(400.0))
+        system.run()
+        # molded to half the request: double the runtime
+        assert job.end_time == pytest.approx(800.0)
+
+    def test_respects_floor(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        system.submit(rigid(13, 2000.0), FixedRuntimeApp(2000.0))
+        job = moldable(16, 4, 8000.0)
+        system.submit(job, MoldableWorkApp(400.0))
+        system.run(until=0.0)
+        # only 3 cores free < floor of 4: must NOT have started
+        assert job.state is JobState.QUEUED
+        assert job.allocation is None
+
+    def test_rigid_job_never_molded(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        system.submit(rigid(8, 500.0), FixedRuntimeApp(500.0))
+        job = rigid(16, 500.0, "second")
+        system.submit(job, FixedRuntimeApp(500.0))
+        system.run(until=0.0)
+        assert job.state is JobState.QUEUED
+
+    def test_molding_counts_in_stats(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        system.submit(rigid(4, 1000.0), FixedRuntimeApp(1000.0))
+        a = moldable(8, 2, 4000.0, "m1")
+        system.submit(a, MoldableWorkApp(100.0))
+        system.run()
+        assert system.scheduler.stats["jobs_molded"] == 1
+        assert a.state is JobState.COMPLETED

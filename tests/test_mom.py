@@ -1,0 +1,114 @@
+"""Tests for the mom daemons and the join/dyn_join/dyn_disjoin protocol."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.machine import Cluster
+from repro.jobs.job import Job
+from repro.rms.mom import MomManager
+
+
+def make_job():
+    return Job(request=ResourceRequest(cores=4), walltime=100.0)
+
+
+@pytest.fixture
+def moms(small_cluster):
+    return MomManager(small_cluster)
+
+
+class TestJoin:
+    def test_join_sets_mother_superior_to_lowest_node(self, moms):
+        job = make_job()
+        ms = moms.join(job, Allocation({2: 4, 1: 4}))
+        assert ms == 1
+        assert moms.mother_superior[job.job_id] == 1
+        assert moms.cores_held(job) == 8
+
+    def test_double_join_rejected(self, moms):
+        job = make_job()
+        moms.join(job, Allocation({0: 4}))
+        with pytest.raises(RuntimeError):
+            moms.join(job, Allocation({1: 4}))
+
+    def test_join_empty_rejected(self, moms):
+        with pytest.raises(ValueError):
+            moms.join(make_job(), Allocation({}))
+
+    def test_mom_oversubscription_rejected(self, moms):
+        job_a, job_b = make_job(), make_job()
+        moms.join(job_a, Allocation({0: 8}))
+        with pytest.raises(RuntimeError):
+            moms.join(job_b, Allocation({0: 1}))
+
+
+class TestDynJoin:
+    def test_expands_allocation(self, moms):
+        job = make_job()
+        moms.join(job, Allocation({0: 4}))
+        moms.dyn_join(job, Allocation({1: 8}))
+        assert moms.cores_held(job) == 12
+        # mother superior unchanged by expansion
+        assert moms.mother_superior[job.job_id] == 0
+
+    def test_requires_running_job(self, moms):
+        with pytest.raises(RuntimeError):
+            moms.dyn_join(make_job(), Allocation({0: 4}))
+
+    def test_same_node_expansion(self, moms):
+        job = make_job()
+        moms.join(job, Allocation({0: 4}))
+        moms.dyn_join(job, Allocation({0: 2}))
+        assert moms.moms[0].jobs[job.job_id] == 6
+
+
+class TestDynDisjoin:
+    def test_releases_subset(self, moms):
+        job = make_job()
+        moms.join(job, Allocation({0: 4, 1: 8}))
+        moms.dyn_disjoin(job, Allocation({1: 8}))
+        assert moms.cores_held(job) == 4
+
+    def test_partial_node_release(self, moms):
+        job = make_job()
+        moms.join(job, Allocation({0: 8}))
+        moms.dyn_disjoin(job, Allocation({0: 3}))
+        assert moms.moms[0].jobs[job.job_id] == 5
+
+    def test_mother_superior_keeps_a_core(self, moms):
+        job = make_job()
+        moms.join(job, Allocation({0: 4, 1: 4}))
+        with pytest.raises(RuntimeError):
+            moms.dyn_disjoin(job, Allocation({0: 4}))
+
+    def test_release_more_than_held_rejected(self, moms):
+        job = make_job()
+        moms.join(job, Allocation({0: 4, 1: 2}))
+        with pytest.raises(RuntimeError):
+            moms.dyn_disjoin(job, Allocation({1: 3}))
+
+    def test_release_from_absent_node_rejected(self, moms):
+        job = make_job()
+        moms.join(job, Allocation({0: 4, 1: 1}))
+        with pytest.raises(RuntimeError):
+            moms.dyn_disjoin(job, Allocation({2: 1, 1: 1}))
+
+
+class TestExit:
+    def test_exit_detaches_everywhere(self, moms):
+        job = make_job()
+        moms.join(job, Allocation({0: 4, 3: 8}))
+        moms.exit(job)
+        assert moms.cores_held(job) == 0
+        assert job.job_id not in moms.mother_superior
+
+    def test_exit_requires_join(self, moms):
+        with pytest.raises(RuntimeError):
+            moms.exit(make_job())
+
+    def test_two_jobs_share_a_node(self, moms):
+        a, b = make_job(), make_job()
+        moms.join(a, Allocation({0: 4}))
+        moms.join(b, Allocation({0: 4}))
+        moms.exit(a)
+        assert moms.moms[0].jobs == {b.job_id: 4}

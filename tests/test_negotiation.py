@@ -1,0 +1,132 @@
+"""Tests for the negotiation protocol (extension of Section III-C's outlook).
+
+With a timeout, a dynamic request stays queued at the server until resources
+arrive or the deadline passes; the scheduler publishes earliest-availability
+estimates along the way.
+"""
+
+import pytest
+
+from repro.apps.synthetic import EvolvingWorkApp, FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.evolution import EvolutionProfile
+from repro.jobs.job import Job, JobFlexibility, JobState
+from repro.maui.config import MauiConfig
+from repro.system import BatchSystem
+
+
+def evolving_job(cores=4, walltime=2000.0, user="evo"):
+    return Job(
+        request=ResourceRequest(cores=cores),
+        walltime=walltime,
+        user=user,
+        flexibility=JobFlexibility.EVOLVING,
+        evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=4)),
+    )
+
+
+class TestNegotiatedRequests:
+    def test_granted_when_resources_free_before_deadline(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        evo = evolving_job()
+        system.submit(evo, EvolvingWorkApp(1000.0, negotiation_timeout=600.0))
+        # blocker holds the spare cores past the trigger (t=160) but
+        # releases at t=400, well inside the 600s negotiation window
+        system.submit(
+            Job(request=ResourceRequest(cores=4), walltime=400.0, user="b"),
+            FixedRuntimeApp(400.0),
+        )
+        system.run()
+        assert evo.dyn_granted == 1
+        assert evo.dyn_rejected == 0
+        # grant at t=400: 400s at speed 1, remaining 600s work at speed 2
+        assert evo.end_time == pytest.approx(400.0 + 600.0 / 2)
+
+    def test_rejected_at_deadline(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        evo = evolving_job()
+        system.submit(evo, EvolvingWorkApp(1000.0, negotiation_timeout=300.0))
+        # blocker outlives the negotiation window (160 + 300 = 460 < 600)
+        system.submit(
+            Job(request=ResourceRequest(cores=4), walltime=600.0, user="b"),
+            FixedRuntimeApp(600.0),
+        )
+        system.run()
+        assert evo.dyn_granted == 0
+        assert evo.dyn_rejected == 1
+        assert evo.end_time == pytest.approx(1000.0)
+
+    def test_estimates_published_while_waiting(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        evo = evolving_job()
+        system.submit(evo, EvolvingWorkApp(1000.0, negotiation_timeout=600.0))
+        system.submit(
+            Job(request=ResourceRequest(cores=4), walltime=400.0, user="b"),
+            FixedRuntimeApp(400.0),
+        )
+        system.run()
+        estimates = evo.metadata.get("availability_estimates", [])
+        assert estimates, "no availability estimate was published"
+        # the blocker's walltime end is the correct availability estimate
+        assert estimates[0] == pytest.approx(400.0)
+
+    def test_job_keeps_computing_while_negotiating(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        evo = evolving_job()
+        app = EvolvingWorkApp(1000.0, negotiation_timeout=600.0)
+        system.submit(evo, app)
+        system.submit(
+            Job(request=ResourceRequest(cores=4), walltime=400.0, user="b"),
+            FixedRuntimeApp(400.0),
+        )
+        system.run(until=399.0)
+        assert evo.state is JobState.DYNQUEUED  # request pending
+        app._advance()
+        assert app.work_done == pytest.approx(399.0)  # still progressing
+
+    def test_completion_with_pending_negotiation_is_clean(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        evo = Job(
+            request=ResourceRequest(cores=4),
+            walltime=500.0,
+            user="evo",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=4)),
+        )
+        # negotiation window (2000s) far outlives the job itself
+        system.submit(evo, EvolvingWorkApp(500.0, negotiation_timeout=2000.0))
+        system.submit(
+            Job(request=ResourceRequest(cores=4), walltime=3000.0, user="b"),
+            FixedRuntimeApp(3000.0),
+        )
+        system.run()
+        assert evo.state is JobState.COMPLETED
+        assert evo.end_time == pytest.approx(500.0)
+        assert not system.server.dyn_queue
+
+    def test_invalid_timeout_rejected(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        with pytest.raises(ValueError):
+            EvolvingWorkApp(1000.0, negotiation_timeout=0.0)
+        evo = evolving_job()
+        system.submit(evo, None)
+        system.run(until=0.0)
+        ctx = system.server._contexts[evo.job_id]
+        with pytest.raises(ValueError):
+            ctx.tm_dynget(
+                ResourceRequest(cores=4), lambda g: None, timeout=-5.0
+            )
+
+    def test_impossible_request_rejected_immediately(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        evo = Job(
+            request=ResourceRequest(cores=4),
+            walltime=2000.0,
+            user="evo",
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=100)),
+        )
+        system.submit(evo, EvolvingWorkApp(1000.0, negotiation_timeout=600.0))
+        system.run(until=200.0)
+        # 100 extra cores can never fit an 8-core machine: no point waiting
+        assert evo.dyn_rejected == 1

@@ -1,0 +1,61 @@
+"""Tests for the terminal xy-plot renderer."""
+
+import pytest
+
+from repro.metrics.plot import SERIES_MARKS, render_xy_plot
+
+
+class TestRenderXYPlot:
+    def test_dimensions(self):
+        text = render_xy_plot(
+            {"s": [(0.0, 0.0), (10.0, 5.0)]}, width=40, height=10
+        )
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert len(rows) == 10
+        assert all(len(l.split("|")[1]) == 40 for l in rows)
+
+    def test_marks_assigned_in_order(self):
+        text = render_xy_plot(
+            {"first": [(0, 0)], "second": [(1, 1)]}, width=20, height=5
+        )
+        assert f"{SERIES_MARKS[0]}=first" in text
+        assert f"{SERIES_MARKS[1]}=second" in text
+
+    def test_later_series_wins_cell(self):
+        text = render_xy_plot(
+            {"under": [(0.0, 0.0)], "over": [(0.0, 0.0)]}, width=20, height=5
+        )
+        grid = "".join(l.split("|")[1] for l in text.splitlines() if "|" in l)
+        assert SERIES_MARKS[1] in grid
+        assert SERIES_MARKS[0] not in grid
+
+    def test_extremes_on_grid_edges(self):
+        text = render_xy_plot(
+            {"s": [(0.0, 0.0), (100.0, 50.0)]}, width=30, height=8
+        )
+        rows = [l.split("|")[1] for l in text.splitlines() if "|" in l]
+        assert rows[0][-1] == SERIES_MARKS[0]   # max y, max x -> top right
+        assert rows[-1][0] == SERIES_MARKS[0]   # min y, min x -> bottom left
+
+    def test_axis_labels(self):
+        text = render_xy_plot(
+            {"s": [(2.0, 10.0), (8.0, 90.0)]},
+            x_label="jobs",
+            y_label="wait",
+            title="My Figure",
+        )
+        assert text.startswith("My Figure")
+        assert "jobs" in text and "wait" in text
+        assert "90" in text and "10" in text
+
+    def test_constant_series(self):
+        # zero spans must not divide by zero
+        text = render_xy_plot({"s": [(5.0, 7.0), (5.0, 7.0)]}, width=20, height=5)
+        assert SERIES_MARKS[0] in text
+
+    def test_empty(self):
+        assert "(no data)" in render_xy_plot({"s": []}, title="t")
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            render_xy_plot({"s": [(0, 0)]}, width=5, height=2)

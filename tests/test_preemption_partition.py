@@ -1,0 +1,104 @@
+"""Unit tests for preemption planning and partition helpers."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.machine import Cluster
+from repro.jobs.job import Job, JobFlexibility, JobState
+from repro.maui.config import MauiConfig
+from repro.maui.partition import find_dynamic_allocation, static_partitions
+from repro.maui.preemption import plan_preemption
+
+
+def running(cluster, cores_by_node, *, backfilled=True, evolving=False, start=0.0):
+    job = Job(
+        request=ResourceRequest(cores=sum(cores_by_node.values())),
+        walltime=1000.0,
+        flexibility=JobFlexibility.EVOLVING if evolving else JobFlexibility.RIGID,
+    )
+    job.state = JobState.RUNNING
+    job.start_time = start
+    job.allocation = Allocation(cores_by_node)
+    job.backfilled = backfilled
+    cluster.claim(job.allocation)
+    return job
+
+
+class TestPlanPreemption:
+    def test_no_preemption_needed_when_fits(self, small_cluster):
+        victims = plan_preemption(small_cluster, ResourceRequest(cores=4), [])
+        assert victims == []
+
+    def test_none_when_impossible(self, small_cluster):
+        jobs = [running(small_cluster, {0: 8})]
+        victims = plan_preemption(small_cluster, ResourceRequest(cores=33), jobs)
+        assert victims is None
+
+    def test_minimal_victim_set(self, small_cluster):
+        a = running(small_cluster, {0: 8}, start=0.0)
+        b = running(small_cluster, {1: 8}, start=10.0)
+        c = running(small_cluster, {2: 8}, start=20.0)
+        running(small_cluster, {3: 8}, backfilled=False)  # priority job: safe
+        victims = plan_preemption(small_cluster, ResourceRequest(cores=8), [a, b, c])
+        # latest-started-first, one job suffices
+        assert victims == [c]
+
+    def test_multiple_victims_accumulate(self, small_cluster):
+        a = running(small_cluster, {0: 8}, start=0.0)
+        b = running(small_cluster, {1: 8}, start=10.0)
+        running(small_cluster, {2: 8}, backfilled=False)
+        running(small_cluster, {3: 8}, backfilled=False)
+        victims = plan_preemption(small_cluster, ResourceRequest(cores=16), [a, b])
+        assert set(victims) == {a, b}
+
+    def test_priority_jobs_never_victims(self, small_cluster):
+        safe = running(small_cluster, {0: 8}, backfilled=False)
+        victims = plan_preemption(small_cluster, ResourceRequest(cores=30), [safe])
+        assert victims is None
+
+    def test_evolving_jobs_never_victims(self, small_cluster):
+        evo = running(small_cluster, {0: 8}, backfilled=True, evolving=True)
+        victims = plan_preemption(small_cluster, ResourceRequest(cores=30), [evo])
+        assert victims is None
+
+    def test_shaped_request(self, small_cluster):
+        a = running(small_cluster, {0: 8}, start=5.0)
+        victims = plan_preemption(
+            small_cluster, ResourceRequest(nodes=4, ppn=8), [a]
+        )
+        assert victims == [a]
+
+    def test_partition_restriction(self):
+        cluster = Cluster.homogeneous(4, 8, dynamic_partition_nodes=1)
+        # victim runs on the dynamic-partition node, outside allowed set
+        victim = running(cluster, {3: 8})
+        plan = plan_preemption(
+            cluster, ResourceRequest(cores=32), [victim], partitions=("batch",)
+        )
+        # freeing node 3 does not help a batch-partition request for 32 cores
+        assert plan is None
+
+
+class TestPartitionHelpers:
+    def test_static_partitions(self):
+        assert static_partitions(MauiConfig()) is None
+        assert static_partitions(MauiConfig(use_dynamic_partition=True)) == ("batch",)
+
+    def test_find_dynamic_allocation_prefers_partition(self):
+        cluster = Cluster.homogeneous(4, 8, dynamic_partition_nodes=1)
+        config = MauiConfig(use_dynamic_partition=True)
+        alloc = find_dynamic_allocation(cluster, ResourceRequest(cores=4), config)
+        assert list(alloc.keys()) == [3]
+
+    def test_find_dynamic_allocation_falls_back_to_batch(self):
+        cluster = Cluster.homogeneous(4, 8, dynamic_partition_nodes=1)
+        cluster.claim(Allocation({3: 8}))  # dynamic partition busy
+        config = MauiConfig(use_dynamic_partition=True)
+        alloc = find_dynamic_allocation(cluster, ResourceRequest(cores=4), config)
+        assert alloc is not None
+        assert 3 not in alloc
+
+    def test_without_partition_any_idle_core_qualifies(self):
+        cluster = Cluster.homogeneous(4, 8)
+        alloc = find_dynamic_allocation(cluster, ResourceRequest(cores=32), MauiConfig())
+        assert alloc.total_cores == 32

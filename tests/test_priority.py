@@ -1,0 +1,139 @@
+"""Tests for the prioritizer and the static fairshare tracker."""
+
+import pytest
+
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.job import Job
+from repro.maui.config import PriorityWeightsConfig
+from repro.maui.priority import FairshareTracker, Prioritizer
+
+
+def make_job(submit=0.0, **kw):
+    defaults = dict(request=ResourceRequest(cores=4), walltime=100.0)
+    defaults.update(kw)
+    job = Job(**defaults)
+    job.submit_time = submit
+    return job
+
+
+def make_prioritizer(**weights):
+    w = PriorityWeightsConfig(**weights)
+    fairshare = FairshareTracker(w.fairshare_interval, w.fairshare_decay)
+    return Prioritizer(w, fairshare), fairshare
+
+
+class TestPriority:
+    def test_queue_time_orders_fifo(self):
+        prio, _ = make_prioritizer()
+        early, late = make_job(submit=0.0), make_job(submit=100.0)
+        ordered = prio.order([late, early], now=200.0)
+        assert ordered == [early, late]
+
+    def test_ties_break_by_seq(self):
+        prio, _ = make_prioritizer()
+        a, b = make_job(submit=0.0), make_job(submit=0.0)
+        assert prio.order([b, a], now=10.0) == [a, b]
+
+    def test_top_priority_dominates(self):
+        prio, _ = make_prioritizer()
+        old = make_job(submit=0.0)
+        z = make_job(submit=10_000.0, top_priority=True)
+        assert prio.order([old, z], now=20_000.0)[0] is z
+
+    def test_unsubmitted_job_rejected(self):
+        prio, _ = make_prioritizer()
+        job = Job(request=ResourceRequest(cores=1), walltime=10.0)
+        with pytest.raises(ValueError):
+            prio.priority(job, now=0.0)
+
+    def test_fairshare_weight_prefers_light_users(self):
+        prio, fairshare = make_prioritizer(queue_time=0.0, fairshare=1000.0)
+        fairshare.add_usage("heavy", 10_000.0)
+        heavy = make_job(submit=0.0, user="heavy")
+        light = make_job(submit=0.0, user="light")
+        assert prio.order([heavy, light], now=0.0)[0] is light
+
+    def test_service_weight_prefers_larger_jobs(self):
+        prio, _ = make_prioritizer(queue_time=0.0, service=1.0)
+        small = make_job(submit=0.0, request=ResourceRequest(cores=2))
+        big = make_job(submit=0.0, request=ResourceRequest(cores=16))
+        assert prio.order([small, big], now=0.0)[0] is big
+
+
+class TestFairshareTracker:
+    def test_usage_accumulates(self):
+        fs = FairshareTracker(interval=100.0, decay=0.5)
+        fs.add_usage("u", 40.0)
+        fs.add_usage("u", 10.0)
+        assert fs.usage("u") == 50.0
+
+    def test_roll_decays(self):
+        fs = FairshareTracker(interval=100.0, decay=0.5)
+        fs.add_usage("u", 80.0)
+        fs.roll(100.0)
+        assert fs.usage("u") == 40.0
+        fs.roll(300.0)  # two more intervals
+        assert fs.usage("u") == 10.0
+
+    def test_zero_decay_clears(self):
+        fs = FairshareTracker(interval=100.0, decay=0.0)
+        fs.add_usage("u", 80.0)
+        fs.roll(150.0)
+        assert fs.usage("u") == 0.0
+
+    def test_normalized_usage(self):
+        fs = FairshareTracker(interval=100.0, decay=0.5)
+        fs.add_usage("a", 30.0)
+        fs.add_usage("b", 10.0)
+        assert fs.normalized_usage("a") == pytest.approx(0.75)
+        assert fs.normalized_usage("missing") == 0.0
+
+    def test_normalized_usage_empty(self):
+        fs = FairshareTracker(interval=100.0, decay=0.5)
+        assert fs.normalized_usage("anyone") == 0.0
+
+    def test_negative_usage_rejected(self):
+        fs = FairshareTracker(interval=100.0, decay=0.5)
+        with pytest.raises(ValueError):
+            fs.add_usage("u", -1.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            FairshareTracker(interval=0.0, decay=0.5)
+        with pytest.raises(ValueError):
+            FairshareTracker(interval=10.0, decay=1.5)
+
+
+class TestExtendedFactors:
+    def test_xfactor_boosts_short_waiting_jobs(self):
+        prio, _ = make_prioritizer(queue_time=0.0, expansion_factor=1.0)
+        short = make_job(submit=0.0, walltime=10.0)
+        long = make_job(submit=0.0, walltime=10_000.0)
+        # both waited 100s; XFactor = (100+10)/10 = 11 vs ~1.01
+        ordered = prio.order([long, short], now=100.0)
+        assert ordered[0] is short
+
+    def test_credential_weights(self):
+        prio, _ = make_prioritizer(
+            queue_time=0.0,
+            credential=1.0,
+            user_priorities={"vip": 100.0, "regular": 0.0},
+        )
+        vip = make_job(submit=0.0, user="vip")
+        regular = make_job(submit=0.0, user="regular")
+        assert prio.order([regular, vip], now=0.0)[0] is vip
+
+    def test_unknown_user_gets_zero_credential(self):
+        prio, _ = make_prioritizer(queue_time=0.0, credential=1.0,
+                                   user_priorities={"vip": 100.0})
+        vip = make_job(submit=0.0, user="vip")
+        nobody = make_job(submit=0.0, user="nobody")
+        assert prio.order([nobody, vip], now=0.0)[0] is vip
+
+    def test_factors_combine(self):
+        prio, _ = make_prioritizer(queue_time=1.0, credential=1.0,
+                                   user_priorities={"vip": 5.0})
+        vip_new = make_job(submit=100.0, user="vip")
+        old = make_job(submit=0.0, user="other")
+        # old has 100s queue time > vip's 0 + 5 credential
+        assert prio.order([vip_new, old], now=100.0)[0] is old

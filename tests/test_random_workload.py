@@ -1,0 +1,112 @@
+"""Unit tests for the random workload generator."""
+
+import pytest
+
+from repro.workloads.random_workload import make_random_workload
+
+
+class TestMakeRandomWorkload:
+    def test_job_count(self):
+        assert make_random_workload(40, 64).total_jobs == 40
+
+    def test_deterministic_per_seed(self):
+        a = make_random_workload(30, 64, seed=3)
+        b = make_random_workload(30, 64, seed=3)
+        assert [(s.submit_time, s.request.cores, s.user) for s in a] == [
+            (s.submit_time, s.request.cores, s.user) for s in b
+        ]
+
+    def test_seed_changes_workload(self):
+        a = make_random_workload(30, 64, seed=1)
+        b = make_random_workload(30, 64, seed=2)
+        assert [s.submit_time for s in a] != [s.submit_time for s in b]
+
+    def test_evolving_share_extremes(self):
+        none = make_random_workload(30, 64, evolving_share=0.0, seed=1)
+        assert none.evolving_jobs == 0
+        all_ = make_random_workload(30, 64, evolving_share=1.0, seed=1)
+        assert all_.evolving_jobs == 30
+
+    def test_sizes_within_bounds(self):
+        wl = make_random_workload(50, 64, size_range=(2, 16), seed=4)
+        assert all(2 <= s.request.cores <= 16 for s in wl)
+
+    def test_walltime_covers_runtime(self):
+        wl = make_random_workload(50, 64, walltime_factor=1.5, seed=4)
+        # walltime factor applies to the hidden runtime; waiting jobs must
+        # never be killed before their payload ends
+        assert all(s.walltime > 0 for s in wl)
+
+    def test_arrivals_monotone(self):
+        wl = make_random_workload(50, 64, seed=4)
+        times = [s.submit_time for s in wl]
+        assert times == sorted(times)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            make_random_workload(0, 64)
+        with pytest.raises(ValueError):
+            make_random_workload(10, 64, evolving_share=1.5)
+        with pytest.raises(ValueError):
+            make_random_workload(10, 64, size_range=(0, 8))
+        with pytest.raises(ValueError):
+            make_random_workload(10, 64, size_range=(1, 128))
+
+    def test_users_spread(self):
+        wl = make_random_workload(60, 64, num_users=4, seed=9)
+        users = {s.user for s in wl}
+        assert len(users) > 1
+        assert all(u.startswith("ruser") for u in users)
+
+
+class TestMakeDiurnalWorkload:
+    def test_job_count(self):
+        from repro.workloads.random_workload import make_diurnal_workload
+
+        wl = make_diurnal_workload(3, 64, jobs_per_day=100, seed=2)
+        assert wl.total_jobs == 300
+
+    def test_day_concentration(self):
+        from repro.workloads.random_workload import make_diurnal_workload
+
+        wl = make_diurnal_workload(4, 64, jobs_per_day=200, day_fraction=0.8, seed=2)
+        in_working_hours = sum(
+            1
+            for s in wl
+            if 8 * 3600 <= s.submit_time % 86400 < 20 * 3600
+        )
+        assert in_working_hours / wl.total_jobs == pytest.approx(0.8, abs=0.02)
+
+    def test_arrivals_span_all_days(self):
+        from repro.workloads.random_workload import make_diurnal_workload
+
+        wl = make_diurnal_workload(3, 64, seed=2)
+        days = {int(s.submit_time // 86400) for s in wl}
+        assert days == {0, 1, 2}
+
+    def test_deterministic(self):
+        from repro.workloads.random_workload import make_diurnal_workload
+
+        a = make_diurnal_workload(2, 64, seed=9)
+        b = make_diurnal_workload(2, 64, seed=9)
+        assert [s.submit_time for s in a] == [s.submit_time for s in b]
+
+    def test_validation(self):
+        from repro.workloads.random_workload import make_diurnal_workload
+
+        with pytest.raises(ValueError):
+            make_diurnal_workload(0, 64)
+        with pytest.raises(ValueError):
+            make_diurnal_workload(1, 64, day_fraction=2.0)
+
+    def test_runs_through_system(self):
+        from repro.maui.config import MauiConfig
+        from repro.metrics.validate import validate_trace
+        from repro.system import BatchSystem
+        from repro.workloads.random_workload import make_diurnal_workload
+
+        system = BatchSystem(8, 8, MauiConfig(reservation_depth=3))
+        make_diurnal_workload(1, 64, jobs_per_day=60, seed=5).submit_to(system)
+        system.run(max_events=200_000)
+        assert all(j.is_finished for j in system.server.jobs.values())
+        assert validate_trace(system.trace, system.cluster) == []

@@ -1,0 +1,85 @@
+"""Tests for the priority-pass planner (StartNow/StartLater, depths)."""
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.profile import AvailabilityProfile
+from repro.jobs.job import Job
+from repro.maui.reservations import plan_static
+
+
+def profile(nodes=4, cores=8, now=0.0):
+    idx = list(range(nodes))
+    return AvailabilityProfile(idx, {i: cores for i in idx}, now, {i: cores for i in idx})
+
+
+def job(cores, walltime=100.0, submit=0.0):
+    j = Job(request=ResourceRequest(cores=cores), walltime=walltime)
+    j.submit_time = submit
+    return j
+
+
+class TestPlanStatic:
+    def test_everything_fits_start_now(self):
+        plan = plan_static([job(8), job(8), job(16)], profile(), 0.0, depth=2)
+        assert len(plan.start_now) == 3
+        assert not plan.start_later
+        assert all(p.start == 0.0 for p in plan.start_now)
+
+    def test_blocked_job_gets_future_reservation(self):
+        jobs = [job(32, walltime=50.0), job(32, walltime=50.0)]
+        plan = plan_static(jobs, profile(), 0.0, depth=2)
+        assert len(plan.start_now) == 1
+        assert len(plan.start_later) == 1
+        assert plan.start_later[0].start == 50.0
+
+    def test_depth_limits_reservations(self):
+        jobs = [job(32, walltime=10.0) for _ in range(5)]
+        plan = plan_static(jobs, profile(), 0.0, depth=2)
+        assert len(plan.start_now) == 1
+        assert len(plan.start_later) == 2  # planning stops at the depth
+
+    def test_later_job_fits_around_reservation(self):
+        # the 32-core job reserves t>=50; a short small job still starts now
+        jobs = [job(16, walltime=50.0), job(32, walltime=100.0), job(4, walltime=10.0)]
+        plan = plan_static(jobs, profile(), 0.0, depth=5)
+        start_now_cores = [p.job.request.cores for p in plan.start_now]
+        assert 4 in start_now_cores
+
+    def test_small_job_must_not_delay_reservation(self):
+        # the idle gap before the 32-core reservation lasts 50s; a 60s job
+        # would push the reservation back, so it must wait for its own slot
+        jobs = [job(16, walltime=50.0), job(32, walltime=100.0), job(4, walltime=60.0)]
+        plan = plan_static(jobs, profile(), 0.0, depth=5)
+        small = next(p for p in plan.start_later if p.job.request.cores == 4)
+        assert small.start >= 50.0
+
+    def test_oversized_job_is_unschedulable(self):
+        plan = plan_static([job(33)], profile(), 0.0, depth=1)
+        assert len(plan.unschedulable) == 1
+        assert not plan.start_now and not plan.start_later
+
+    def test_profile_is_mutated_with_claims(self):
+        prof = profile()
+        plan_static([job(32, walltime=100.0)], prof, 0.0, depth=1)
+        assert prof.free_at(50.0) == {0: 0, 1: 0, 2: 0, 3: 0}
+
+    def test_starts_by_job(self):
+        jobs = [job(32, walltime=50.0), job(32, walltime=50.0)]
+        plan = plan_static(jobs, profile(), 0.0, depth=1)
+        starts = plan.starts_by_job()
+        assert starts[jobs[0].job_id] == 0.0
+        assert starts[jobs[1].job_id] == 50.0
+
+    def test_planned_merges_in_time_order(self):
+        jobs = [job(32, walltime=50.0), job(32, walltime=50.0), job(32, walltime=50.0)]
+        plan = plan_static(jobs, profile(), 0.0, depth=5)
+        assert [p.start for p in plan.planned] == [0.0, 50.0, 100.0]
+
+    def test_planned_job_end(self):
+        plan = plan_static([job(8, walltime=25.0)], profile(), 0.0, depth=1)
+        assert plan.start_now[0].end == 25.0
+
+    def test_sequential_reservations_stack(self):
+        # two blocked jobs both need the whole machine: second waits for first
+        jobs = [job(32, walltime=10.0), job(32, walltime=20.0), job(32, walltime=30.0)]
+        plan = plan_static(jobs, profile(), 0.0, depth=5)
+        assert [p.start for p in plan.start_later] == [10.0, 30.0]

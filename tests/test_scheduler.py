@@ -1,0 +1,287 @@
+"""Tests for the MauiScheduler: Algorithm 1/2 behaviour end to end.
+
+These run through the full BatchSystem (engine + server + scheduler) on
+small, hand-analysable scenarios.
+"""
+
+import pytest
+
+from repro.apps.synthetic import EvolvingWorkApp, FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.cluster.machine import Cluster
+from repro.jobs.evolution import EvolutionProfile
+from repro.jobs.job import Job, JobFlexibility, JobState
+from repro.maui.config import DFSConfig, DFSPolicy, MauiConfig, PrincipalLimits
+from repro.sim.events import EventKind
+from repro.system import BatchSystem
+
+
+def rigid(cores, walltime, user="u", **kw):
+    return Job(request=ResourceRequest(cores=cores), walltime=walltime, user=user, **kw)
+
+
+def evolving(cores, walltime, user="evo", extra=4, at=0.16, retries=(0.25,)):
+    return Job(
+        request=ResourceRequest(cores=cores),
+        walltime=walltime,
+        user=user,
+        flexibility=JobFlexibility.EVOLVING,
+        evolution=EvolutionProfile.single(at, ResourceRequest(cores=extra), retries),
+    )
+
+
+class TestStaticScheduling:
+    def test_fifo_start(self, system):
+        a = system.submit(rigid(16, 100))
+        b = system.submit(rigid(16, 100))
+        system.run(until=0.0)
+        assert a.state is JobState.RUNNING
+        assert b.state is JobState.RUNNING
+
+    def test_blocked_job_waits_for_release(self, system):
+        a = system.submit(rigid(32, 100), FixedRuntimeApp(100))
+        b = system.submit(rigid(32, 100), FixedRuntimeApp(100))
+        system.run()
+        assert a.start_time == 0.0
+        assert b.start_time == 100.0
+
+    def test_backfill_around_reservation(self, system):
+        # a(16c,100s) runs; b(32c) reserves t=100; c(16c,50s) backfills now
+        a = system.submit(rigid(16, 100, "a"), FixedRuntimeApp(100))
+        b = system.submit(rigid(32, 200, "b"), FixedRuntimeApp(200))
+        c = system.submit(rigid(16, 50, "c"), FixedRuntimeApp(50))
+        system.run()
+        assert a.start_time == 0.0
+        assert c.start_time == 0.0
+        assert c.backfilled
+        assert b.start_time == 100.0
+
+    def test_backfill_disabled(self):
+        system = BatchSystem(4, 8, MauiConfig(backfill_enabled=False))
+        a = system.submit(rigid(16, 100, "a"), FixedRuntimeApp(100))
+        b = system.submit(rigid(32, 200, "b"), FixedRuntimeApp(200))
+        c = system.submit(rigid(16, 50, "c"), FixedRuntimeApp(50))
+        system.run()
+        # strict priority order: c runs only after b, despite the idle gap
+        # beside a in [0, 100) that backfill would have used
+        assert c.start_time == 300.0
+
+    def test_iteration_trace_recorded(self, system):
+        system.submit(rigid(8, 10), FixedRuntimeApp(10))
+        system.run()
+        assert system.trace.count(EventKind.SCHED_ITERATION) >= 1
+
+    def test_reservation_trace_recorded(self, system):
+        system.submit(rigid(32, 100), FixedRuntimeApp(100))
+        system.submit(rigid(32, 100), FixedRuntimeApp(100))
+        system.run(until=0.0)
+        assert system.trace.count(EventKind.RESERVATION_CREATE) >= 1
+
+
+class TestZLockdown:
+    def test_z_job_blocks_lower_priority_starts(self, system):
+        running = system.submit(rigid(16, 100, "r"), FixedRuntimeApp(100))
+        system.run(until=0.0)
+        z = system.submit(rigid(32, 50, "z", top_priority=True), FixedRuntimeApp(50))
+        small = system.submit(rigid(4, 10, "s"), FixedRuntimeApp(10))
+        system.run(until=50.0)
+        # while Z waits for the machine to drain, nothing else may start
+        assert small.start_time is None or small.start_time >= 100.0
+        system.run()
+        assert z.start_time == 100.0
+        assert small.start_time == 150.0  # after Z completes
+
+    def test_z_job_starts_immediately_on_idle_machine(self, system):
+        z = system.submit(rigid(32, 50, "z", top_priority=True), FixedRuntimeApp(50))
+        system.run()
+        assert z.start_time == 0.0
+        assert z.state is JobState.COMPLETED
+
+
+class TestDynamicRequests:
+    def test_grant_from_idle(self, system):
+        job = system.submit(evolving(4, 1000), EvolvingWorkApp(1000))
+        system.run()
+        assert job.dyn_granted == 1
+        assert job.state is JobState.COMPLETED
+        # expansion at 16%: 160 + 840 * 4/8 = 580
+        assert job.end_time == pytest.approx(580.0)
+
+    def test_reject_when_no_idle(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        evo = system.submit(evolving(4, 1000), EvolvingWorkApp(1000))
+        blocker = system.submit(rigid(4, 2000, "b"), FixedRuntimeApp(2000))
+        system.run(until=500.0)
+        assert evo.dyn_granted == 0
+        assert evo.dyn_rejected == 2  # 16% attempt and 25% retry both fail
+
+    def test_static_config_rejects_everything(self):
+        system = BatchSystem(4, 8, MauiConfig(dynamic_enabled=False))
+        job = system.submit(evolving(4, 1000), EvolvingWorkApp(1000))
+        system.run()
+        assert job.dyn_granted == 0
+        assert job.dyn_rejected == 2
+        assert job.end_time == pytest.approx(1000.0)  # full static runtime
+
+    def test_retry_succeeds_after_release(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        evo = system.submit(evolving(4, 2000), EvolvingWorkApp(2000))
+        # blocker occupies the other 4 cores past the 16% point (t=320)
+        # but releases before the 25% retry (t=500)
+        blocker = system.submit(rigid(4, 400, "b"), FixedRuntimeApp(400))
+        system.run()
+        assert evo.dyn_rejected == 1
+        assert evo.dyn_granted == 1
+
+    def test_fifo_order_of_dynamic_requests(self, system):
+        # two evolving jobs request simultaneously; only 4 idle cores remain
+        evo1 = system.submit(evolving(12, 1000, "e1"), EvolvingWorkApp(1000))
+        evo2 = system.submit(evolving(12, 1000, "e2"), EvolvingWorkApp(1000))
+        filler = system.submit(rigid(4, 1000, "f"), FixedRuntimeApp(1000))
+        system.run(until=200.0)
+        # both requested at t=160 (same fraction, same SET); FIFO favours
+        # the first submitter
+        assert evo1.dyn_granted == 1
+        assert evo2.dyn_granted == 0
+
+    def _veto_scenario(self, evo_user: str, queued_user: str) -> BatchSystem:
+        """Evolving job (4c, walltime 2000, SET 1000) + a 300s rigid runner.
+
+        The queued 12-core job could start at t=300 when the runner ends;
+        granting the evolving job 4 extra cores until its walltime end
+        (t=2000) pushes that start to t=2000 — a 1700s delay against a 1s cap.
+        """
+        config = MauiConfig(
+            dfs=DFSConfig(
+                policy=DFSPolicy.TARGET_DELAY,
+                default_user=PrincipalLimits(target_delay_time=1.0),
+            )
+        )
+        system = BatchSystem(2, 8, config)
+        evo = Job(
+            request=ResourceRequest(cores=4),
+            walltime=2000.0,
+            user=evo_user,
+            flexibility=JobFlexibility.EVOLVING,
+            evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=4)),
+        )
+        system.submit(evo, EvolvingWorkApp(1000))
+        system.submit(rigid(8, 300, "runner"), FixedRuntimeApp(300))
+        system.submit(rigid(12, 100, queued_user), FixedRuntimeApp(100))
+        system.run(until=250.0)
+        return system, evo
+
+    def test_fairness_veto_path(self):
+        system, evo = self._veto_scenario("evo", "waiting")
+        assert evo.dyn_granted == 0
+        assert system.scheduler.stats["dyn_rejected_fairness"] >= 1
+
+    def test_same_user_delay_is_exempt(self):
+        system, evo = self._veto_scenario("same", "same")
+        assert evo.dyn_granted == 1
+
+    def test_grant_trace_has_nodes(self, system):
+        system.submit(evolving(4, 1000), EvolvingWorkApp(1000))
+        system.run()
+        grant = system.trace.of_kind(EventKind.DYN_GRANT)[0]
+        assert grant.payload["cores"] == 4
+        assert grant.payload["nodes"]
+
+
+class TestDynamicPartition:
+    def _system(self):
+        cluster = Cluster.homogeneous(4, 8, dynamic_partition_nodes=1)
+        return BatchSystem(config=MauiConfig(use_dynamic_partition=True), cluster=cluster)
+
+    def test_static_jobs_avoid_dynamic_partition(self):
+        system = self._system()
+        job = system.submit(rigid(24, 100), FixedRuntimeApp(100))
+        system.run(until=0.0)
+        assert job.state is JobState.RUNNING
+        assert 3 not in job.allocation  # node 3 is fenced
+
+    def test_static_job_larger_than_batch_partition_never_starts(self):
+        system = self._system()
+        job = system.submit(rigid(32, 100), FixedRuntimeApp(100))
+        system.run(until=100.0)
+        assert job.state is JobState.QUEUED
+
+    def test_dynamic_request_served_from_partition_first(self):
+        system = self._system()
+        evo = system.submit(evolving(4, 1000), EvolvingWorkApp(1000))
+        system.run(until=200.0)
+        grant = system.trace.of_kind(EventKind.DYN_GRANT)[0]
+        assert grant.payload["nodes"] == [3]
+
+    def test_partition_overflow_falls_back_to_batch_idle(self):
+        system = self._system()
+        evo = system.submit(
+            Job(
+                request=ResourceRequest(cores=4),
+                walltime=1000.0,
+                user="evo",
+                flexibility=JobFlexibility.EVOLVING,
+                evolution=EvolutionProfile.single(0.16, ResourceRequest(cores=12)),
+            ),
+            EvolvingWorkApp(1000),
+        )
+        system.run(until=200.0)
+        grant = system.trace.of_kind(EventKind.DYN_GRANT)[0]
+        assert set(grant.payload["nodes"]) - {3}  # spills into batch nodes
+
+
+class TestPreemptionForDynamic:
+    def test_backfilled_job_preempted_for_dynamic_request(self):
+        config = MauiConfig(preemption_for_dynamic=True)
+        system = BatchSystem(2, 8, config)
+        evo = system.submit(evolving(8, 1000, "evo"), EvolvingWorkApp(1000))
+        # head-of-queue blocker that cannot start (needs 16 cores); its
+        # reservation begins at t=1000 when the evolving job's walltime ends
+        blocker = system.submit(rigid(16, 500, "big"), FixedRuntimeApp(500))
+        # small job backfills into the remaining 8 cores (ends before t=1000)
+        small = system.submit(rigid(8, 800, "small"), FixedRuntimeApp(800))
+        system.run(until=0.0)
+        assert small.backfilled and small.state is JobState.RUNNING
+        system.run(until=200.0)
+        # at t=160 the evolving job asks for 4 cores; none idle -> preempt
+        assert evo.dyn_granted == 1
+        assert small.metadata.get("preempt_count", 0) == 1
+        assert system.scheduler.stats["preemptions"] == 1
+        assert system.trace.count(EventKind.PREEMPT) == 1
+
+    def test_no_preemption_when_disabled(self):
+        system = BatchSystem(2, 8, MauiConfig())
+        evo = system.submit(evolving(8, 1000, "evo"), EvolvingWorkApp(1000))
+        blocker = system.submit(rigid(16, 500, "big"), FixedRuntimeApp(500))
+        small = system.submit(rigid(8, 800, "small"), FixedRuntimeApp(800))
+        system.run(until=200.0)
+        assert evo.dyn_granted == 0
+        assert system.scheduler.stats["preemptions"] == 0
+
+    def test_evolving_jobs_never_preempted(self):
+        config = MauiConfig(preemption_for_dynamic=True)
+        system = BatchSystem(1, 8, config)
+        evo_a = system.submit(evolving(4, 1000, "a"), EvolvingWorkApp(1000))
+        evo_b = system.submit(evolving(4, 1000, "b"), EvolvingWorkApp(1000))
+        system.run(until=300.0)
+        # neither evolving job may be sacrificed for the other's request
+        assert evo_a.metadata.get("preempt_count", 0) == 0
+        assert evo_b.metadata.get("preempt_count", 0) == 0
+
+
+class TestSchedulerStats:
+    def test_counters_consistent(self, system):
+        for _ in range(3):
+            system.submit(rigid(8, 50), FixedRuntimeApp(50))
+        system.submit(evolving(4, 500), EvolvingWorkApp(500))
+        system.run()
+        stats = system.scheduler.stats
+        assert stats["jobs_started"] + stats["jobs_backfilled"] == 4
+        assert stats["dyn_granted"] == 1
+
+    def test_timer_interval_triggers_iterations(self):
+        system = BatchSystem(2, 8, MauiConfig(timer_interval=10.0))
+        system.submit(rigid(8, 25), FixedRuntimeApp(25))
+        system.run(until=100.0)
+        # periodic wakeups continue after the workload drains
+        assert system.scheduler.stats["iterations"] >= 10

@@ -1,0 +1,80 @@
+"""Tests for ReservationDepth edge semantics after the depth/start decoupling.
+
+``ReservationDepth`` bounds reservations, never starts: even with depth 0 a
+fitting job must start immediately (the hypothesis suite found the original
+regression here).
+"""
+
+import pytest
+
+from repro.apps.synthetic import FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.job import Job, JobState
+from repro.maui.config import MauiConfig
+from repro.sim.events import EventKind
+from repro.system import BatchSystem
+
+
+def rigid(cores, walltime, user="u"):
+    return Job(request=ResourceRequest(cores=cores), walltime=walltime, user=user)
+
+
+class TestDepthZero:
+    def test_fitting_job_starts_with_depth_zero(self):
+        system = BatchSystem(2, 8, MauiConfig(reservation_depth=0, backfill_enabled=False))
+        job = system.submit(rigid(8, 100), FixedRuntimeApp(100))
+        system.run()
+        assert job.state is JobState.COMPLETED
+        assert job.start_time == 0.0
+
+    def test_no_reservations_created_with_depth_zero(self):
+        system = BatchSystem(2, 8, MauiConfig(reservation_depth=0))
+        system.submit(rigid(16, 100), FixedRuntimeApp(100))
+        system.submit(rigid(16, 100), FixedRuntimeApp(100))
+        system.submit(rigid(16, 100), FixedRuntimeApp(100))
+        system.run()
+        assert system.trace.count(EventKind.RESERVATION_CREATE) == 0
+        assert system.scheduler.stats["reservations_created"] == 0
+
+    def test_depth_zero_with_backfill_can_bypass_blocked_job(self):
+        # optimistic extreme: without a reservation, the blocked wide job is
+        # repeatedly bypassed by fitting jobs
+        system = BatchSystem(2, 8, MauiConfig(reservation_depth=0))
+        a = system.submit(rigid(8, 100, "a"), FixedRuntimeApp(100))
+        wide = system.submit(rigid(16, 100, "wide"), FixedRuntimeApp(100))
+        small = system.submit(rigid(8, 200, "small"), FixedRuntimeApp(200))
+        system.run()
+        assert small.start_time == 0.0  # bypassed the blocked wide job
+        assert wide.start_time == 200.0  # waits for everything
+
+    def test_depth_one_protects_blocked_job(self):
+        system = BatchSystem(2, 8, MauiConfig(reservation_depth=1))
+        a = system.submit(rigid(8, 100, "a"), FixedRuntimeApp(100))
+        wide = system.submit(rigid(16, 100, "wide"), FixedRuntimeApp(100))
+        small = system.submit(rigid(8, 200, "small"), FixedRuntimeApp(200))
+        system.run()
+        # with a reservation at t=100, the 200s small job cannot backfill
+        assert wide.start_time == 100.0
+        assert small.start_time == 200.0
+
+
+class TestStrictPriorityWithoutBackfill:
+    def test_no_out_of_order_starts(self):
+        system = BatchSystem(2, 8, MauiConfig(backfill_enabled=False))
+        a = system.submit(rigid(8, 100, "a"), FixedRuntimeApp(100))
+        wide = system.submit(rigid(16, 300, "wide"), FixedRuntimeApp(300))
+        small = system.submit(rigid(4, 10, "small"), FixedRuntimeApp(10))
+        system.run()
+        # strict order: small never jumps the blocked wide job
+        assert small.start_time >= wide.start_time
+        assert system.scheduler.stats["jobs_backfilled"] == 0
+
+    def test_out_of_order_marked_backfilled(self):
+        system = BatchSystem(2, 8, MauiConfig(reservation_depth=1))
+        a = system.submit(rigid(8, 100, "a"), FixedRuntimeApp(100))
+        wide = system.submit(rigid(16, 300, "wide"), FixedRuntimeApp(300))
+        small = system.submit(rigid(4, 50, "small"), FixedRuntimeApp(50))
+        system.run()
+        assert small.start_time == 0.0
+        assert small.backfilled
+        assert not a.backfilled

@@ -1,0 +1,33 @@
+"""Tests for the seed-sweep harness."""
+
+import pytest
+
+from repro.experiments.sweep import render_sweep, run_seed_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_seed_sweep(seeds=[5, 11])
+
+
+class TestSeedSweep:
+    def test_samples_per_config(self, sweep):
+        assert set(sweep.samples) == {"Static", "Dyn-HP", "Dyn-500", "Dyn-600"}
+        assert all(len(rows) == 2 for rows in sweep.samples.values())
+
+    def test_stats(self, sweep):
+        mean, std = sweep.stats("Static", "satisfied")
+        assert mean == 0.0 and std == 0.0
+        mean, _ = sweep.stats("Dyn-HP", "satisfied")
+        assert mean > 0
+
+    def test_ordering_fraction_bounds(self, sweep):
+        frac = sweep.ordering_holds(
+            "util_pct", "Dyn-HP", "Static", larger_is_better=True
+        )
+        assert 0.0 <= frac <= 1.0
+
+    def test_render(self, sweep):
+        text = render_sweep(sweep)
+        assert "±" in text
+        assert "ordering robustness" in text

@@ -1,0 +1,80 @@
+"""Tests for per-user throttling policies (Maui MAXJOB / MAXIJOB)."""
+
+import pytest
+
+from repro.apps.synthetic import FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.job import Job, JobState
+from repro.maui.config import MauiConfig
+from repro.system import BatchSystem
+
+
+def job(user, cores=4, walltime=100.0):
+    return Job(request=ResourceRequest(cores=cores), walltime=walltime, user=user)
+
+
+class TestMaxRunning:
+    def test_cap_limits_concurrent_jobs(self):
+        system = BatchSystem(4, 8, MauiConfig(max_running_jobs_per_user=2))
+        jobs = [system.submit(job("hog"), FixedRuntimeApp(100.0)) for _ in range(4)]
+        system.run(until=0.0)
+        running = [j for j in jobs if j.state is JobState.RUNNING]
+        assert len(running) == 2  # machine has room for 8, cap says 2
+
+    def test_cap_releases_as_jobs_finish(self):
+        system = BatchSystem(4, 8, MauiConfig(max_running_jobs_per_user=2))
+        jobs = [system.submit(job("hog"), FixedRuntimeApp(100.0)) for _ in range(4)]
+        system.run()
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        starts = sorted(j.start_time for j in jobs)
+        assert starts == [0.0, 0.0, 100.0, 100.0]
+
+    def test_other_users_unaffected(self):
+        system = BatchSystem(4, 8, MauiConfig(max_running_jobs_per_user=1))
+        hogs = [system.submit(job("hog"), FixedRuntimeApp(100.0)) for _ in range(2)]
+        other = system.submit(job("polite"), FixedRuntimeApp(100.0))
+        system.run(until=0.0)
+        assert other.state is JobState.RUNNING
+        assert sum(j.state is JobState.RUNNING for j in hogs) == 1
+
+
+class TestMaxEligible:
+    def test_eligible_set_capped_per_user(self):
+        system = BatchSystem(
+            1, 8, MauiConfig(max_eligible_jobs_per_user=2, reservation_depth=5)
+        )
+        for _ in range(5):
+            system.submit(job("a", cores=8), FixedRuntimeApp(100.0))
+        system.submit(job("b", cores=8), FixedRuntimeApp(100.0))
+        eligible = system.scheduler._eligible_static(system.now)
+        by_user = {}
+        for j in eligible:
+            by_user[j.user] = by_user.get(j.user, 0) + 1
+        assert by_user == {"a": 2, "b": 1}
+
+    def test_capped_jobs_get_no_reservations(self):
+        # jobs beyond the cap are invisible: they cannot hold reservations
+        system = BatchSystem(
+            1, 8, MauiConfig(max_eligible_jobs_per_user=1, reservation_depth=5)
+        )
+        for _ in range(4):
+            system.submit(job("a", cores=8), FixedRuntimeApp(100.0))
+        system.run(until=0.0)
+        # one running + one reservation at most (only one eligible at a time)
+        assert system.scheduler.stats["reservations_created"] <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MauiConfig(max_running_jobs_per_user=0)
+        with pytest.raises(ValueError):
+            MauiConfig(max_eligible_jobs_per_user=-1)
+
+
+class TestInteraction:
+    def test_throttled_jobs_eventually_complete(self):
+        system = BatchSystem(
+            2, 8, MauiConfig(max_running_jobs_per_user=1, max_eligible_jobs_per_user=2)
+        )
+        jobs = [system.submit(job(f"u{i % 2}"), FixedRuntimeApp(50.0)) for i in range(8)]
+        system.run(max_events=20_000)
+        assert all(j.state is JobState.COMPLETED for j in jobs)

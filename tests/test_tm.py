@@ -1,0 +1,104 @@
+"""Tests for the TM interface (tm_dynget / tm_dynfree)."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.machine import Cluster
+from repro.jobs.job import Job, JobFlexibility, JobState
+from repro.rms.server import Server
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def running_ctx():
+    """A running 2-node job plus direct access to its TM context."""
+    engine = Engine()
+    cluster = Cluster.homogeneous(4, 8)
+    server = Server(engine, cluster)
+    job = Job(
+        request=ResourceRequest(cores=8),
+        walltime=1000.0,
+        flexibility=JobFlexibility.EVOLVING,
+    )
+    server.submit(job)
+
+    captured = {}
+
+    class Capture:
+        def launch(self, ctx):
+            captured["ctx"] = ctx
+
+    server._apps[job.job_id] = Capture()
+    server.start_job(job, Allocation({0: 4, 1: 4}))
+    return engine, cluster, server, job, captured["ctx"]
+
+
+class TestTMDynget:
+    def test_request_reaches_server(self, running_ctx):
+        engine, cluster, server, job, ctx = running_ctx
+        ctx.tm_dynget(ResourceRequest(cores=4), lambda g: None)
+        assert len(server.dyn_queue) == 1
+        assert server.dyn_queue[0].request.cores == 4
+
+    def test_second_concurrent_request_rejected(self, running_ctx):
+        engine, cluster, server, job, ctx = running_ctx
+        ctx.tm_dynget(ResourceRequest(cores=4), lambda g: None)
+        with pytest.raises(RuntimeError, match="pending"):
+            ctx.tm_dynget(ResourceRequest(cores=4), lambda g: None)
+
+    def test_sequential_requests_allowed(self, running_ctx):
+        engine, cluster, server, job, ctx = running_ctx
+        ctx.tm_dynget(ResourceRequest(cores=4), lambda g: None)
+        server.reject_dynamic(server.dyn_queue[0])
+        ctx.tm_dynget(ResourceRequest(cores=4), lambda g: None)  # fine now
+        assert len(server.dyn_queue) == 1
+
+    def test_hostlist_grows_after_grant(self, running_ctx):
+        engine, cluster, server, job, ctx = running_ctx
+        before = len(ctx.hostlist())
+        ctx.tm_dynget(ResourceRequest(cores=4), lambda g: None)
+        server.grant_dynamic(server.dyn_queue[0], Allocation({2: 4}))
+        assert len(ctx.hostlist()) == before + 4
+        assert ctx.cores == 12
+
+
+class TestTMDynfree:
+    def test_release_succeeds(self, running_ctx):
+        engine, cluster, server, job, ctx = running_ctx
+        assert ctx.tm_dynfree({1: 4}) is True
+        assert ctx.cores == 4
+        assert cluster.used_cores == 4
+
+    def test_release_not_held_returns_false(self, running_ctx):
+        engine, cluster, server, job, ctx = running_ctx
+        assert ctx.tm_dynfree({3: 2}) is False  # node 3 not in allocation
+        assert ctx.cores == 8
+
+    def test_release_too_many_returns_false(self, running_ctx):
+        engine, cluster, server, job, ctx = running_ctx
+        assert ctx.tm_dynfree({0: 5}) is False
+
+    def test_release_everything_on_ms_node_returns_false(self, running_ctx):
+        engine, cluster, server, job, ctx = running_ctx
+        # node 0 is the mother superior; stripping it entirely must fail
+        assert ctx.tm_dynfree({0: 4}) is False
+        assert ctx.cores == 8
+
+    def test_release_empty_returns_false(self, running_ctx):
+        engine, cluster, server, job, ctx = running_ctx
+        assert ctx.tm_dynfree({}) is False
+
+
+class TestTMTimers:
+    def test_after_cancelled_at_job_end(self, running_ctx):
+        engine, cluster, server, job, ctx = running_ctx
+        fired = []
+        ctx.after(500.0, fired.append, "should not fire")
+        server.complete_job(job)
+        engine.run()
+        assert fired == []
+
+    def test_finish_completes_job(self, running_ctx):
+        engine, cluster, server, job, ctx = running_ctx
+        ctx.finish()
+        assert job.state is JobState.COMPLETED

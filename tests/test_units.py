@@ -1,0 +1,107 @@
+"""Tests for repro.units (duration parsing/formatting)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import UNLIMITED, days, format_duration, hours, minutes, parse_duration
+
+
+class TestParseDuration:
+    def test_plain_seconds_int(self):
+        assert parse_duration(90) == 90.0
+
+    def test_plain_seconds_float(self):
+        assert parse_duration(1.5) == 1.5
+
+    def test_numeric_string(self):
+        assert parse_duration("4800") == 4800.0
+
+    def test_mm_ss(self):
+        assert parse_duration("30:00") == 1800.0
+
+    def test_hh_mm_ss(self):
+        assert parse_duration("06:00:00") == 21600.0
+
+    def test_dd_hh_mm_ss(self):
+        assert parse_duration("1:00:00:00") == 86400.0
+
+    def test_paper_fig6_values(self):
+        # the exact durations appearing in the paper's Fig. 6
+        assert parse_duration("00:30:00") == 1800.0
+        assert parse_duration("00:15:00") == 900.0
+        assert parse_duration("02:00:00") == 7200.0
+        assert parse_duration("04:00:00") == 14400.0
+
+    def test_whitespace_tolerated(self):
+        assert parse_duration("  01:00:00 ") == 3600.0
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ValueError):
+            parse_duration("")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_duration(-5)
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            parse_duration("-1:00")
+
+    def test_too_many_fields_rejected(self):
+        with pytest.raises(ValueError):
+            parse_duration("1:2:3:4:5")
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(ValueError):
+            parse_duration("1::00")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError):
+            parse_duration("soon")
+
+
+class TestFormatDuration:
+    def test_basic(self):
+        assert format_duration(21600) == "06:00:00"
+
+    def test_zero(self):
+        assert format_duration(0) == "00:00:00"
+
+    def test_hours_exceed_24(self):
+        assert format_duration(90 * 3600) == "90:00:00"
+
+    def test_unlimited_sentinel(self):
+        assert format_duration(UNLIMITED) == "UNLIMITED"
+
+    def test_negative(self):
+        assert format_duration(-61) == "-00:01:01"
+
+    def test_rounding(self):
+        assert format_duration(59.6) == "00:01:00"
+
+
+class TestHelpers:
+    def test_minutes(self):
+        assert minutes(30) == 1800.0
+
+    def test_hours(self):
+        assert hours(2) == 7200.0
+
+    def test_days(self):
+        assert days(1) == 86400.0
+
+
+@given(st.integers(min_value=0, max_value=10**7))
+def test_format_parse_roundtrip(seconds):
+    """format -> parse is the identity for whole seconds."""
+    assert parse_duration(format_duration(seconds)) == float(seconds)
+
+
+@given(
+    st.integers(min_value=0, max_value=99),
+    st.integers(min_value=0, max_value=59),
+    st.integers(min_value=0, max_value=59),
+)
+def test_parse_hms_components(h, m, s):
+    assert parse_duration(f"{h}:{m:02d}:{s:02d}") == h * 3600 + m * 60 + s

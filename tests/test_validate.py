@@ -1,0 +1,96 @@
+"""Tests for the trace validator, plus validation of real end-to-end runs."""
+
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.maui.config import MauiConfig
+from repro.metrics.validate import validate_trace
+from repro.sim.events import EventKind, TraceLog
+from repro.system import BatchSystem
+from repro.workloads.esp import make_esp_workload
+from repro.workloads.random_workload import make_random_workload
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.homogeneous(4, 8)
+
+
+class TestValidator:
+    def test_consistent_trace_passes(self, cluster):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.JOB_SUBMIT, job_id="a")
+        trace.record(1.0, EventKind.JOB_START, job_id="a", cores=8, nodes=[0])
+        trace.record(5.0, EventKind.DYN_GRANT, job_id="a", cores=4, nodes=[1])
+        trace.record(7.0, EventKind.DYN_RELEASE, job_id="a", cores=4, nodes=[1])
+        trace.record(9.0, EventKind.JOB_END, job_id="a", cores=8)
+        assert validate_trace(trace, cluster) == []
+
+    def test_time_reversal_detected(self, cluster):
+        trace = TraceLog()
+        trace.record(5.0, EventKind.JOB_SUBMIT, job_id="a")
+        trace.record(1.0, EventKind.JOB_SUBMIT, job_id="b")
+        problems = validate_trace(trace, cluster)
+        assert any("backwards" in p for p in problems)
+
+    def test_double_submit_detected(self, cluster):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.JOB_SUBMIT, job_id="a")
+        trace.record(1.0, EventKind.JOB_SUBMIT, job_id="a")
+        assert any("twice" in p for p in validate_trace(trace, cluster))
+
+    def test_start_without_submit_detected(self, cluster):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.JOB_START, job_id="ghost", cores=4)
+        assert any("without submission" in p for p in validate_trace(trace, cluster))
+
+    def test_double_start_detected(self, cluster):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.JOB_SUBMIT, job_id="a")
+        trace.record(1.0, EventKind.JOB_START, job_id="a", cores=4)
+        trace.record(2.0, EventKind.JOB_START, job_id="a", cores=4)
+        assert any("already running" in p for p in validate_trace(trace, cluster))
+
+    def test_overcapacity_detected(self, cluster):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.JOB_SUBMIT, job_id="a")
+        trace.record(1.0, EventKind.JOB_START, job_id="a", cores=33)
+        assert any("exceed capacity" in p for p in validate_trace(trace, cluster))
+
+    def test_grant_to_unknown_node_detected(self, cluster):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.JOB_SUBMIT, job_id="a")
+        trace.record(1.0, EventKind.JOB_START, job_id="a", cores=4, nodes=[0])
+        trace.record(2.0, EventKind.DYN_GRANT, job_id="a", cores=4, nodes=[99])
+        assert any("unknown node" in p for p in validate_trace(trace, cluster))
+
+    def test_dangling_running_job_detected(self, cluster):
+        trace = TraceLog()
+        trace.record(0.0, EventKind.JOB_SUBMIT, job_id="a")
+        trace.record(1.0, EventKind.JOB_START, job_id="a", cores=4)
+        assert any("still running" in p for p in validate_trace(trace, cluster))
+
+
+class TestRealTracesValidate:
+    """Every end-to-end scenario must leave a consistent event log."""
+
+    def test_esp_dynamic_trace(self, paper_system):
+        make_esp_workload(120, dynamic=True, seed=2014).submit_to(paper_system)
+        paper_system.run(max_events=2_000_000)
+        assert validate_trace(paper_system.trace, paper_system.cluster) == []
+
+    def test_random_workload_trace(self):
+        system = BatchSystem(8, 8, MauiConfig(preemption_for_dynamic=True))
+        make_random_workload(60, 64, seed=21, evolving_share=0.4).submit_to(system)
+        system.run(max_events=200_000)
+        assert validate_trace(system.trace, system.cluster) == []
+
+    def test_slurm_baseline_trace(self):
+        from repro.baselines.slurm_style import make_slurm_esp_workload
+
+        system = BatchSystem(
+            15, 8, MauiConfig(reservation_depth=5, reservation_delay_depth=5)
+        )
+        make_slurm_esp_workload(system, seed=2014).submit_to(system)
+        system.run(max_events=2_000_000)
+        assert validate_trace(system.trace, system.cluster) == []

@@ -1,0 +1,100 @@
+"""Tests for the nested weather-simulation model (paper Section I, ref. [5])."""
+
+import pytest
+
+from repro.apps.weather import WeatherApp
+from repro.apps.synthetic import FixedRuntimeApp
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.job import Job, JobFlexibility, JobState
+from repro.maui.config import MauiConfig
+from repro.metrics.validate import validate_trace
+from repro.sim.events import EventKind
+from repro.system import BatchSystem
+
+
+def weather_job(cores=8, walltime=4000.0):
+    return Job(
+        request=ResourceRequest(cores=cores),
+        walltime=walltime,
+        user="forecast",
+        flexibility=JobFlexibility.EVOLVING,
+    )
+
+
+class TestWeatherApp:
+    def test_tracks_phenomena_on_idle_machine(self, system):
+        app = WeatherApp(3000.0, num_phenomena=2, nest_cores=4, seed=1)
+        job = weather_job()
+        system.submit(job, app)
+        system.run()
+        assert job.state is JobState.COMPLETED
+        assert app.tracked_count == 2
+        # every tracked nest was granted and later released (or returned at
+        # job end): cores fully conserved
+        assert system.cluster.used_cores == 0
+        assert system.trace.count(EventKind.DYN_GRANT) == 2
+
+    def test_nests_released_at_dissipation(self, system):
+        app = WeatherApp(
+            3000.0,
+            num_phenomena=1,
+            nest_cores=4,
+            phenomenon_duration=(200.0, 200.0),
+            seed=1,
+        )
+        job = weather_job()
+        system.submit(job, app)
+        system.run()
+        releases = system.trace.of_kind(EventKind.DYN_RELEASE)
+        assert len(releases) == 1
+        grant = system.trace.of_kind(EventKind.DYN_GRANT)[0]
+        assert releases[0].time == pytest.approx(grant.time + 200.0)
+
+    def test_untracked_when_machine_full(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        app = WeatherApp(3000.0, num_phenomena=2, nest_cores=4, seed=1)
+        job = weather_job(cores=4)
+        system.submit(job, app)
+        system.submit(
+            Job(request=ResourceRequest(cores=4), walltime=5000.0, user="block"),
+            FixedRuntimeApp(5000.0),
+        )
+        system.run()
+        assert job.state is JobState.COMPLETED  # forecast unaffected
+        assert app.tracked_count == 0
+
+    def test_deterministic_per_seed(self):
+        counts = []
+        for _ in range(2):
+            system = BatchSystem(4, 8, MauiConfig())
+            app = WeatherApp(3000.0, num_phenomena=3, seed=7)
+            system.submit(weather_job(), app)
+            system.run()
+            counts.append(
+                [(p.appears_at, p.duration, p.tracked) for p in app.phenomena]
+            )
+        assert counts[0] == counts[1]
+
+    def test_overlapping_appearance_goes_untracked(self, system):
+        # two phenomena appearing while a request is pending: the TM
+        # protocol allows one in-flight request, the second is skipped
+        app = WeatherApp(
+            3000.0, num_phenomena=3, nest_cores=4, seed=3
+        )
+        job = weather_job()
+        system.submit(job, app)
+        system.run()
+        assert 0 <= app.tracked_count <= 3
+        assert validate_trace(system.trace, system.cluster) == []
+
+    def test_trace_consistent(self, system):
+        app = WeatherApp(2500.0, num_phenomena=4, nest_cores=2, seed=11)
+        system.submit(weather_job(), app)
+        system.run()
+        assert validate_trace(system.trace, system.cluster) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WeatherApp(0.0)
+        with pytest.raises(ValueError):
+            WeatherApp(100.0, nest_cores=0)
