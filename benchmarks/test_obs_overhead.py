@@ -1,0 +1,134 @@
+"""Telemetry overhead: the disabled hot path must stay within 5 %.
+
+The tentpole claim of the observability layer is that it costs (nearly)
+nothing when off: every hook site reduces to one ``self._obs is not None``
+attribute check.  A true pre-instrumentation baseline no longer exists to
+measure against, so the bound is established from first principles:
+
+1. count how many hook executions one ESP run performs (the enabled run's
+   own counters and spans record this);
+2. measure the wall cost of a single attribute-is-None check;
+3. assert  hooks x per-check cost  <  5 % of the measured disabled-run
+   wall time — i.e. even charging every hook at full price, the disabled
+   path sits comfortably inside the 5 % envelope.
+
+A pytest-benchmark comparison of disabled vs enabled runs rides along for
+the curious (enabled adds counters, histograms, sampling and spans).
+"""
+
+import timeit
+
+import pytest
+
+from benchmarks.conftest import register_report
+from repro.experiments.configs import all_configurations
+from repro.experiments.runner import run_esp_configuration
+from repro.obs import Telemetry
+
+_DYN_HP = next(c for c in all_configurations() if c.name == "Dyn-HP")
+
+
+def _run(telemetry=None):
+    return run_esp_configuration(_DYN_HP, seed=2014, telemetry=telemetry)
+
+
+def _per_check_cost_seconds() -> float:
+    """Wall cost of one ``self._obs is not None`` check (the disabled hook)."""
+
+    class Host:
+        __slots__ = ("_obs",)
+
+        def __init__(self):
+            self._obs = None
+
+    host = Host()
+    number = 1_000_000
+    total = min(
+        timeit.repeat(
+            "if host._obs is not None:\n    pass",
+            globals={"host": host},
+            number=number,
+            repeat=3,
+        )
+    )
+    return total / number
+
+
+def _count_hook_executions() -> int:
+    """Hook executions in one ESP run, counted by an enabled run.
+
+    Server hooks fire once per lifecycle event (mirrored in the counters),
+    cluster hooks once per claim/release, scheduler hooks once per
+    iteration and per dynamic request (recorded as spans).  Each site is
+    counted generously: the real disabled path runs *at most* this many
+    checks.
+    """
+    telemetry = Telemetry(sample_interval=None)
+    result = _run(telemetry=telemetry)
+    registry = telemetry.registry
+    server_events = sum(
+        registry.value(name)
+        for name in (
+            "repro_jobs_submitted_total",
+            "repro_jobs_started_total",
+            "repro_jobs_completed_total",
+            "repro_jobs_aborted_total",
+            "repro_jobs_preempted_total",
+            "repro_dyn_requests_total",
+            "repro_dyn_grants_total",
+            "repro_dyn_rejects_total",
+        )
+    )
+    # each server event site also refreshes three depth gauges; charge 4x
+    server_checks = 4 * int(server_events)
+    # claims/releases: one per start/end/grant/release; charge 4 per job
+    # event as a generous over-estimate
+    cluster_checks = 4 * int(server_events)
+    sched_checks = int(
+        registry.value("repro_sched_iterations_total")
+        + registry.get("repro_dyn_handle_seconds").count
+    )
+    return 2 * (server_checks + cluster_checks + sched_checks)
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_disabled_run(benchmark):
+    result = benchmark.pedantic(_run, rounds=3, iterations=1)
+    assert result.metrics.completed_jobs == 230
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_enabled_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: _run(telemetry=Telemetry()), rounds=3, iterations=1
+    )
+    assert result.metrics.completed_jobs == 230
+
+
+def test_disabled_overhead_within_five_percent():
+    hooks = _count_hook_executions()
+    per_check = _per_check_cost_seconds()
+    start = timeit.default_timer()
+    _run()
+    disabled_runtime = timeit.default_timer() - start
+
+    overhead = hooks * per_check
+    budget = 0.05 * disabled_runtime
+    register_report(
+        "Telemetry overhead — disabled-path bound (5 % budget)",
+        "\n".join(
+            [
+                f"  hook executions per ESP run : {hooks:>12,d}",
+                f"  cost per is-None check      : {per_check * 1e9:>12.1f} ns",
+                f"  worst-case disabled overhead: {overhead * 1e3:>12.3f} ms",
+                f"  disabled run wall time      : {disabled_runtime * 1e3:>12.1f} ms",
+                f"  5% budget                   : {budget * 1e3:>12.1f} ms",
+                f"  headroom                    : {budget / overhead:>12.1f}x",
+            ]
+        ),
+    )
+    assert overhead < budget, (
+        f"{hooks} hook checks x {per_check * 1e9:.1f} ns = "
+        f"{overhead * 1e3:.3f} ms exceeds 5% of the "
+        f"{disabled_runtime * 1e3:.1f} ms disabled run"
+    )

@@ -3,15 +3,23 @@
 Usage::
 
     repro-batchsim table1
-    repro-batchsim table2 [--seed N]
+    repro-batchsim table2 [--seed N] [--telemetry-out DIR]
     repro-batchsim fig7 | fig8 | fig9 | fig10 | fig11 | fig12
+    repro-batchsim trace | timeline | metrics   # live telemetry views
     repro-batchsim all
+
+``trace``/``timeline``/``metrics`` run the Dyn-HP configuration once with
+telemetry enabled and render, respectively: the tail of the event trace, a
+utilization sparkline over the sampled time series, and the full metrics
+registry (Prometheus text) plus the per-user DFS delay ledger.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+from functools import lru_cache
 
 __all__ = ["main"]
 
@@ -25,6 +33,15 @@ def _cmd_table1(args) -> str:
 def _cmd_table2(args) -> str:
     from repro.experiments.table2 import render_table2
 
+    if getattr(args, "telemetry_out", None):
+        from repro.experiments.table2 import run_table2_instrumented
+
+        results = run_table2_instrumented(seed=args.seed, out_dir=args.telemetry_out)
+        return (
+            render_table2(results)
+            + f"\n\ntelemetry written to {args.telemetry_out}/"
+            "<config>.trace.jsonl and .metrics.prom"
+        )
     return render_table2(seed=args.seed)
 
 
@@ -120,6 +137,72 @@ def _cmd_gantt(args) -> str:
     )
 
 
+@lru_cache(maxsize=4)
+def _instrumented_dyn_hp(seed: int, sample_interval: float, trace_maxlen: int | None):
+    """One telemetry-enabled Dyn-HP run, shared by trace/timeline/metrics."""
+    from repro.experiments.configs import all_configurations
+    from repro.experiments.runner import run_esp_configuration
+    from repro.obs import Telemetry
+
+    configuration = next(c for c in all_configurations() if c.name == "Dyn-HP")
+    telemetry = Telemetry(sample_interval=sample_interval)
+    return run_esp_configuration(
+        configuration, seed=seed, telemetry=telemetry, trace_maxlen=trace_maxlen
+    )
+
+
+def _cmd_trace(args) -> str:
+    from repro.obs.console import render_event_tail
+
+    result = _instrumented_dyn_hp(args.seed, args.sample_interval, args.trace_maxlen)
+    return (
+        f"Dyn-HP ESP run (seed {args.seed}) — last {args.tail} trace events:\n"
+        + render_event_tail(result.trace, n=args.tail)
+    )
+
+
+def _cmd_timeline(args) -> str:
+    from repro.obs.console import render_series_sparkline
+
+    result = _instrumented_dyn_hp(args.seed, args.sample_interval, args.trace_maxlen)
+    series = result.telemetry.series
+    lines = [
+        f"Dyn-HP ESP run (seed {args.seed}) — sampled every "
+        f"{args.sample_interval:.0f}s of sim time:"
+    ]
+    for name, lo, hi in (
+        ("utilization", 0.0, 1.0),
+        ("queue_depth", 0.0, None),
+        ("dyn_queue_depth", 0.0, None),
+        ("running_jobs", 0.0, None),
+    ):
+        lines.append(render_series_sparkline(name, series.get(name, []), lo=lo, hi=hi))
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args) -> str:
+    from repro.obs import to_prometheus_text
+    from repro.obs.console import render_ledger_table
+
+    result = _instrumented_dyn_hp(args.seed, args.sample_interval, args.trace_maxlen)
+    telemetry = result.telemetry
+    ledger = {}
+    for instrument in telemetry.registry.collect():
+        if instrument.name == "repro_dfs_ledger_delay_seconds":
+            labels = dict(instrument.labels)
+            ledger[(labels["kind"], labels["principal"])] = instrument.value
+    return "\n".join(
+        [
+            f"Dyn-HP ESP run (seed {args.seed}) — metrics registry:",
+            to_prometheus_text(telemetry.registry).rstrip(),
+            "",
+            render_ledger_table(ledger),
+            "",
+            telemetry.tracer.render_summary(),
+        ]
+    )
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -133,7 +216,24 @@ _COMMANDS = {
     "gantt": _cmd_gantt,
     "sweep": _cmd_sweep,
     "export": _cmd_export,
+    "trace": _cmd_trace,
+    "timeline": _cmd_timeline,
+    "metrics": _cmd_metrics,
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive: {text}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive: {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -155,11 +255,61 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cores", type=int, default=120, help="machine size in cores (default 120)"
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="component logging on stderr (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "--tail",
+        type=int,
+        default=20,
+        help="events shown by the trace view (default 20)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=_positive_float,
+        default=60.0,
+        help="telemetry sampling period in sim seconds (default 60)",
+    )
+    parser.add_argument(
+        "--trace-maxlen",
+        type=_positive_int,
+        default=None,
+        help="bound the event trace to a ring of N events (default unbounded)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="DIR",
+        help="table2 only: dump per-config JSONL traces and Prometheus metrics",
+    )
     return parser
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Attach a stderr handler to the ``repro`` logger tree.
+
+    Library code only emits records; handlers are the application's call —
+    this is the application.
+    """
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    logger.addHandler(handler)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     names = list(_COMMANDS) if args.artifact == "all" else [args.artifact]
     for i, name in enumerate(names):
         if i:

@@ -7,12 +7,15 @@ backfill) is handled by :class:`repro.cluster.profile.AvailabilityProfile`.
 
 from __future__ import annotations
 
+import logging
 from typing import Iterable, Sequence
 
 from repro.cluster.allocation import Allocation, ResourceRequest
 from repro.cluster.node import Node, NodeState
 
 __all__ = ["Cluster"]
+
+log = logging.getLogger("repro.cluster.machine")
 
 
 class Cluster:
@@ -26,6 +29,22 @@ class Cluster:
             raise ValueError("duplicate node indices")
         self.nodes: list[Node] = sorted(nodes, key=lambda n: n.index)
         self._by_index = {n.index: n for n in self.nodes}
+        #: busy-core instruments; None keeps claim/release uninstrumented
+        self._obs = None
+
+    def attach_telemetry(self, telemetry, clock) -> None:
+        """Report busy-core changes to a telemetry facade.
+
+        ``clock`` is the simulation engine (read for ``.now``); the busy
+        integral is anchored at the current time and usage level.
+        """
+        if telemetry is None or not telemetry.enabled:
+            return
+        from repro.obs.instruments import ClusterInstruments
+
+        self._obs = ClusterInstruments(telemetry, clock)
+        telemetry.reset_busy_clock(clock.now, self.used_cores)
+        self._obs.busy_cores.set(self.used_cores)
 
     @classmethod
     def homogeneous(
@@ -145,6 +164,8 @@ class Cluster:
                 )
         for idx, count in allocation.items():
             self._by_index[idx].used += count
+        if self._obs is not None:
+            self._obs.on_busy_change(self.used_cores)
 
     def release(self, allocation: Allocation) -> None:
         """Return the allocation's cores to the free pool."""
@@ -158,6 +179,8 @@ class Cluster:
                 )
         for idx, count in allocation.items():
             self._by_index[idx].used -= count
+        if self._obs is not None:
+            self._obs.on_busy_change(self.used_cores)
 
     # ------------------------------------------------------------------
     # failures (extension used by fault-tolerance tests/examples)
@@ -165,10 +188,12 @@ class Cluster:
     def fail_node(self, index: int) -> None:
         """Mark a node DOWN.  Caller is responsible for re-queueing jobs."""
         self._by_index[index].state = NodeState.DOWN
+        log.warning("node %s marked DOWN", self._by_index[index].name)
 
     def recover_node(self, index: int) -> None:
         node = self._by_index[index]
         node.state = NodeState.UP
+        log.info("node %s recovered", node.name)
 
     def __repr__(self) -> str:
         return (

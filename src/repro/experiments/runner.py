@@ -25,6 +25,9 @@ class ESPResult:
     configuration: ESPConfiguration
     metrics: WorkloadMetrics
     scheduler_stats: dict
+    #: the run's telemetry facade and trace, kept only for instrumented runs
+    telemetry: object | None = None
+    trace: object | None = None
 
     @property
     def name(self) -> str:
@@ -52,10 +55,21 @@ def run_esp_configuration(
     cores_per_node: int = DEFAULT_CORES_PER_NODE,
     seed: int = DEFAULT_SEED,
     walltime_factor: float = 1.0,
+    telemetry=None,
+    trace_maxlen: int | None = None,
 ) -> ESPResult:
-    """Simulate the (dynamic) ESP workload under one configuration."""
+    """Simulate the (dynamic) ESP workload under one configuration.
+
+    Pass a :class:`repro.obs.Telemetry` to collect live metrics, sampled
+    time series and spans for the run; ``trace_maxlen`` bounds the event
+    trace to a ring of that many events.
+    """
     system = BatchSystem(
-        num_nodes=num_nodes, cores_per_node=cores_per_node, config=configuration.maui
+        num_nodes=num_nodes,
+        cores_per_node=cores_per_node,
+        config=configuration.maui,
+        telemetry=telemetry,
+        trace_maxlen=trace_maxlen,
     )
     workload = make_esp_workload(
         total_cores=num_nodes * cores_per_node,
@@ -74,6 +88,8 @@ def run_esp_configuration(
         configuration=configuration,
         metrics=system.metrics(),
         scheduler_stats=dict(system.scheduler.stats),
+        telemetry=telemetry,
+        trace=system.trace if telemetry is not None else None,
     )
 
 

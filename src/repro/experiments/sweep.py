@@ -44,15 +44,33 @@ class SweepResult:
         return wins / len(self.seeds)
 
 
-def run_seed_sweep(seeds: list[int] | None = None) -> SweepResult:
-    """All four configurations over the given seeds (default: 8 seeds)."""
+def run_seed_sweep(
+    seeds: list[int] | None = None, *, trace_maxlen: int | None = None
+) -> SweepResult:
+    """All four configurations over the given seeds (default: 8 seeds).
+
+    ``trace_maxlen`` bounds each run's event trace to a ring of that many
+    events (default: unbounded, the historical behaviour); bounded runs get
+    a per-run telemetry facade so utilization stays exact via the live
+    busy-core integral instead of trace replay.
+    """
     if seeds is None:
         seeds = [1, 2, 3, 7, 42, 99, 1234, 2014]
     result = SweepResult(seeds=list(seeds))
     for configuration in all_configurations():
         rows: list[dict] = []
         for seed in seeds:
-            run = run_esp_configuration(configuration, seed=seed)
+            telemetry = None
+            if trace_maxlen is not None:
+                from repro.obs import Telemetry
+
+                telemetry = Telemetry(sample_interval=None)
+            run = run_esp_configuration(
+                configuration,
+                seed=seed,
+                telemetry=telemetry,
+                trace_maxlen=trace_maxlen,
+            )
             m = run.metrics
             rows.append(
                 {

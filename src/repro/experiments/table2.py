@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.experiments.configs import all_configurations
-from repro.experiments.runner import ESPResult, run_esp_configuration_cached
+from repro.experiments.runner import (
+    ESPResult,
+    run_esp_configuration,
+    run_esp_configuration_cached,
+)
 from repro.metrics.report import render_table
 
-__all__ = ["run_table2", "render_table2"]
+__all__ = ["run_table2", "run_table2_instrumented", "render_table2"]
 
 
 def run_table2(seed: int = 2014) -> list[ESPResult]:
@@ -15,6 +21,32 @@ def run_table2(seed: int = 2014) -> list[ESPResult]:
         run_esp_configuration_cached(cfg.name, seed=seed)
         for cfg in all_configurations()
     ]
+
+
+def run_table2_instrumented(
+    seed: int = 2014, out_dir: str | Path | None = None
+) -> list[ESPResult]:
+    """Table II with full telemetry: fresh runs, one Telemetry each.
+
+    When ``out_dir`` is given, each configuration dumps its event trace as
+    ``<config>.trace.jsonl`` and its metrics registry as
+    ``<config>.metrics.prom`` (Prometheus text exposition) into it.
+    """
+    from repro.obs import Telemetry, export_jsonl, to_prometheus_text
+
+    results = []
+    for cfg in all_configurations():
+        telemetry = Telemetry()
+        result = run_esp_configuration(cfg, seed=seed, telemetry=telemetry)
+        results.append(result)
+        if out_dir is not None:
+            out = Path(out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            export_jsonl(result.trace, out / f"{cfg.name}.trace.jsonl")
+            (out / f"{cfg.name}.metrics.prom").write_text(
+                to_prometheus_text(telemetry.registry)
+            )
+    return results
 
 
 def render_table2(results: list[ESPResult] | None = None, seed: int = 2014) -> str:

@@ -93,6 +93,10 @@ class DFSLedger:
         """Current-interval accumulated delay for a principal."""
         return self._cumulative.get((kind, name), 0.0)
 
+    def snapshot(self) -> dict[tuple[str, str], float]:
+        """Copy of the current-interval ledger, keyed by (kind, name)."""
+        return dict(self._cumulative)
+
     # ------------------------------------------------------------------
     # policy evaluation
     # ------------------------------------------------------------------

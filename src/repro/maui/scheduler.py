@@ -22,6 +22,7 @@ paper's "Static" baseline configuration.
 
 from __future__ import annotations
 
+import logging
 import time as _time
 
 from repro.cluster.allocation import Allocation
@@ -41,6 +42,8 @@ from repro.sim.events import EventKind
 
 __all__ = ["MauiScheduler"]
 
+log = logging.getLogger("repro.maui.scheduler")
+
 
 class MauiScheduler:
     """Event-driven scheduler daemon."""
@@ -51,12 +54,21 @@ class MauiScheduler:
         cluster: Cluster,
         server: Server,
         config: MauiConfig | None = None,
+        *,
+        telemetry=None,
     ) -> None:
         self.engine = engine
         self.cluster = cluster
         self.server = server
         self.config = config if config is not None else MauiConfig()
         self.trace = server.trace
+        #: optional :class:`repro.obs.Telemetry` (defaults to the server's)
+        self.telemetry = telemetry if telemetry is not None else server.telemetry
+        self._obs = None
+        if self.telemetry is not None and self.telemetry.enabled:
+            from repro.obs.instruments import SchedulerInstruments
+
+            self._obs = SchedulerInstruments(self.telemetry)
         self.fairshare = FairshareTracker(
             self.config.weights.fairshare_interval,
             self.config.weights.fairshare_decay,
@@ -86,6 +98,28 @@ class MauiScheduler:
         #: condition (ii)); rescheduled every iteration
         self._boundary_wake = None
         self._next_reservation_start: float | None = None
+        if self.telemetry is not None:
+            # sampled time series: the live replacements for post-hoc
+            # trace reconstruction (utilization, depths, ledger levels)
+            self.telemetry.add_source(
+                "utilization", lambda: cluster.used_cores / cluster.total_cores
+            )
+            self.telemetry.add_source("busy_cores", lambda: cluster.used_cores)
+            self.telemetry.add_source("queue_depth", lambda: len(server.queue))
+            self.telemetry.add_source(
+                "dyn_queue_depth", lambda: len(server.dyn_queue)
+            )
+            self.telemetry.add_source(
+                "running_jobs",
+                lambda: sum(1 for j in server.jobs.values() if j.is_active),
+            )
+            self.telemetry.add_source(
+                "dfs_ledger_delay",
+                lambda: {
+                    f"{kind}:{name}": delay
+                    for (kind, name), delay in self.dfs.snapshot().items()
+                },
+            )
         server.on_state_change = self.request_iteration
         if self.config.timer_interval is not None:
             self.engine.after(self.config.timer_interval, self._timer_tick)
@@ -163,6 +197,10 @@ class MauiScheduler:
     # ------------------------------------------------------------------
     def iteration(self) -> None:
         """One full scheduling cycle (Algorithm 2; Algorithm 1 if static)."""
+        obs = self._obs
+        if obs is not None:
+            wall_start_ns = _time.perf_counter_ns()
+            events_before = self.trace.total_recorded
         now = self.engine.now
         self.stats["iterations"] += 1
         self._update_statistics(now)
@@ -188,6 +226,18 @@ class MauiScheduler:
             backfilled=backfilled,
             lockdown=lockdown,
         )
+        log.debug(
+            "iteration t=%.1f queued=%d started=%d backfilled=%d",
+            now, len(self.server.queue), started, backfilled,
+        )
+        if obs is not None:
+            obs.sync_stats(self.stats)
+            obs.sync_ledger(self.dfs.snapshot())
+            obs.end_iteration(
+                now,
+                _time.perf_counter_ns() - wall_start_ns,
+                self.trace.total_recorded - events_before,
+            )
 
     def _eligible_static(self, now: float) -> list[Job]:
         """Queued jobs eligible for priority scheduling (Algorithm step 6).
@@ -298,12 +348,19 @@ class MauiScheduler:
         return pending
 
     def _process_dynamic_requests(self, now: float) -> None:
+        obs = self._obs
         for dreq in self._ordered_dynamic_requests():
-            wall_start = _time.perf_counter()
+            wall_start_ns = _time.perf_counter_ns()
+            events_before = self.trace.total_recorded if obs is not None else 0
             try:
                 self._handle_dynamic_request(dreq, now)
             finally:
-                self.stats["dyn_handle_seconds"] += _time.perf_counter() - wall_start
+                wall_ns = _time.perf_counter_ns() - wall_start_ns
+                self.stats["dyn_handle_seconds"] += wall_ns / 1e9
+                if obs is not None:
+                    obs.end_dyn_handle(
+                        now, wall_ns, self.trace.total_recorded - events_before
+                    )
 
     def _handle_dynamic_request(self, dreq: DynRequest, now: float) -> None:
         if dreq.is_extension:
@@ -449,6 +506,14 @@ class MauiScheduler:
             self.stats["total_delay_charged"] += charged
             self.server.grant_walltime_extension(dreq)
         else:
+            self.trace.record(
+                now,
+                EventKind.WALLTIME_EXTENSION_DENY,
+                job_id=job.job_id,
+                user=job.user,
+                extension=dreq.extend_walltime,
+                reason=decision.reason,
+            )
             self._reject(dreq, decision.reason, kind="fairness")
 
     def _grant(self, dreq, alloc, *, victims, charged: float) -> None:
@@ -510,6 +575,15 @@ class MauiScheduler:
                 alloc = self._mold_to_fit(working, job, now)
                 if alloc is not None:
                     self.stats["jobs_molded"] += 1
+                    self.trace.record(
+                        now,
+                        EventKind.MOLDABLE_START,
+                        job_id=job.job_id,
+                        user=job.user,
+                        requested=job.request.total_cores,
+                        granted=alloc.total_cores,
+                        floor=job.moldable_floor,
+                    )
             if alloc is not None:
                 working.add_claim(now, now + job.walltime, alloc)
                 # a start while a higher-priority job waits is out-of-order

@@ -78,15 +78,20 @@ class JobRecord:
 class WorkloadMetrics:
     """Post-run summary over a server's jobs and trace."""
 
-    def __init__(self, records: list[JobRecord], total_cores: int, trace) -> None:
+    def __init__(
+        self, records: list[JobRecord], total_cores: int, trace, *, telemetry=None
+    ) -> None:
         self.records = sorted(records, key=lambda r: (r.submit_time, r.seq))
         self.total_cores = total_cores
         self._trace = trace
+        self._telemetry = telemetry
 
     @classmethod
-    def from_server(cls, server: Server, cluster: Cluster) -> "WorkloadMetrics":
+    def from_server(
+        cls, server: Server, cluster: Cluster, *, telemetry=None
+    ) -> "WorkloadMetrics":
         records = [JobRecord.from_job(j) for j in server.jobs.values()]
-        return cls(records, cluster.total_cores, server.trace)
+        return cls(records, cluster.total_cores, server.trace, telemetry=telemetry)
 
     # ------------------------------------------------------------------
     # Table II quantities
@@ -122,8 +127,17 @@ class WorkloadMetrics:
 
     @property
     def utilization(self) -> float:
-        """Busy core-seconds over installed capacity across the workload time."""
-        busy = busy_core_seconds(self._trace, self.first_submit, self.last_end)
+        """Busy core-seconds over installed capacity across the workload time.
+
+        Normally reconstructed by replaying the trace; when the trace is a
+        bounded ring that has dropped events, replay would under-count, so
+        the telemetry busy-core integral (maintained live by the cluster
+        hooks, exact regardless of trace retention) is used instead.
+        """
+        if getattr(self._trace, "dropped", 0) and self._telemetry is not None:
+            busy = self._telemetry.busy_core_seconds(upto=self.last_end)
+        else:
+            busy = busy_core_seconds(self._trace, self.first_submit, self.last_end)
         return busy / (self.total_cores * self.workload_time)
 
     @property

@@ -1,0 +1,47 @@
+"""Observability layer: live metrics, span tracing, streaming trace pipeline.
+
+The paper's whole evaluation is observations of scheduler behaviour; this
+package makes those observations *live* instead of post-mortem:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges and
+  histograms updated by the server, scheduler and cluster as they work;
+* :class:`~repro.obs.sampler.PeriodicSampler` — sim-time-driven time series
+  (utilization, queue depth, DFS ledger levels);
+* :class:`~repro.obs.tracing.SpanTracer` — wall-clock profiling of
+  scheduler iterations and dynamic-request servicing (live Fig. 12 data);
+* :mod:`~repro.obs.exporters` — JSONL trace streaming and the Prometheus
+  text exposition format;
+* :class:`~repro.obs.telemetry.Telemetry` — the facade bundling the above,
+  passed to :class:`~repro.system.BatchSystem`.
+
+See ``docs/OBSERVABILITY.md`` for the instrument catalogue and formats.
+"""
+
+from repro.obs.exporters import (
+    JsonlTraceWriter,
+    export_jsonl,
+    iter_jsonl,
+    read_jsonl,
+    to_prometheus_text,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sampler import PeriodicSampler
+from repro.obs.telemetry import DEFAULT_SAMPLE_INTERVAL, Telemetry
+from repro.obs.tracing import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PeriodicSampler",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "JsonlTraceWriter",
+    "export_jsonl",
+    "iter_jsonl",
+    "read_jsonl",
+    "to_prometheus_text",
+]

@@ -1,0 +1,107 @@
+"""Terminal renderers for live-style telemetry views.
+
+Used by the ``repro.cli trace`` / ``timeline`` / ``metrics`` subcommands:
+an event tail (the last N trace events), a unicode sparkline over a sampled
+time series (utilization timeline), and a per-principal DFS ledger table.
+Pure functions over telemetry data — no I/O, golden-output-testable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.sim.events import TraceEvent, TraceLog
+
+__all__ = [
+    "render_event_tail",
+    "sparkline",
+    "render_series_sparkline",
+    "render_ledger_table",
+]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def render_event_tail(trace: TraceLog, n: int = 20) -> str:
+    """The newest ``n`` events, one per line, with drop accounting."""
+    lines: list[str] = []
+    shown: Sequence[TraceEvent] = trace.tail(n)
+    hidden = trace.total_recorded - len(shown)
+    if hidden > 0:
+        dropped_note = f", {trace.dropped} dropped by ring buffer" if trace.dropped else ""
+        lines.append(f"... {hidden} earlier events not shown{dropped_note} ...")
+    for event in shown:
+        payload = ", ".join(f"{k}={v}" for k, v in sorted(event.payload.items()))
+        lines.append(f"t={event.time:>12.2f}  {event.kind.value:<24} {payload}")
+    if not shown:
+        lines.append("(no events recorded)")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, lo: float | None = None, hi: float | None = None) -> str:
+    """Map values onto ▁..█; empty input renders as an empty string."""
+    if not len(values):
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    chars = []
+    for v in values:
+        if span <= 0:
+            idx = 0
+        else:
+            idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1) + 0.5)
+        chars.append(_SPARK_CHARS[max(0, min(idx, len(_SPARK_CHARS) - 1))])
+    return "".join(chars)
+
+
+def _downsample(values: Sequence[float], width: int) -> list[float]:
+    """Bucket-mean downsampling to at most ``width`` points."""
+    if len(values) <= width:
+        return list(values)
+    out = []
+    for i in range(width):
+        start = i * len(values) // width
+        end = max(start + 1, (i + 1) * len(values) // width)
+        bucket = values[start:end]
+        out.append(sum(bucket) / len(bucket))
+    return out
+
+
+def render_series_sparkline(
+    name: str,
+    series: Sequence[tuple[float, float]],
+    *,
+    width: int = 72,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """A labelled sparkline over a sampled ``(time, value)`` series."""
+    if not series:
+        return f"{name}: (no samples)"
+    values = [v for _, v in series]
+    shown = _downsample(values, width)
+    t0, t1 = series[0][0], series[-1][0]
+    vlo = min(values) if lo is None else lo
+    vhi = max(values) if hi is None else hi
+    return (
+        f"{name}  t=[{t0:.0f}s .. {t1:.0f}s]  "
+        f"min={min(values):.2f} max={max(values):.2f} last={values[-1]:.2f}\n"
+        f"  [{sparkline(shown, lo=vlo, hi=vhi)}]"
+    )
+
+
+def render_ledger_table(
+    snapshot: Mapping[tuple[str, str], float] | Iterable[tuple[tuple[str, str], float]],
+    *,
+    title: str = "DFS ledger (cumulative delay charged this interval)",
+) -> str:
+    """Per-principal DFS delay ledger as a fixed-width table."""
+    rows = sorted(dict(snapshot).items())
+    lines = [title, f"  {'kind':<8} {'principal':<16} {'delay[s]':>12}"]
+    if not rows:
+        lines.append("  (no delay charged)")
+        return "\n".join(lines)
+    for (kind, name), delay in rows:
+        lines.append(f"  {kind:<8} {name:<16} {delay:>12.1f}")
+    return "\n".join(lines)

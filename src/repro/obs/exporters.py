@@ -1,0 +1,199 @@
+"""Trace and metrics exporters: JSONL event streams and Prometheus text.
+
+Two wire formats:
+
+* **JSONL traces** — one JSON object per event, ``{"t": ..., "kind": ...,
+  "payload": {...}}``.  :class:`JsonlTraceWriter` streams events as they
+  are recorded (subscribe it to a :class:`~repro.sim.events.TraceLog`);
+  :func:`export_jsonl` dumps a retained trace post-hoc; :func:`read_jsonl`
+  parses either back into a ``TraceLog`` such that the round-trip
+  reproduces identical :class:`~repro.sim.events.TraceEvent` objects.
+* **Prometheus text exposition** — :func:`to_prometheus_text` renders a
+  :class:`~repro.obs.registry.MetricsRegistry` in the standard ``# HELP`` /
+  ``# TYPE`` format, histograms included (cumulative ``_bucket`` series
+  plus ``_sum`` / ``_count``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, IO, Iterable, Iterator
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim.events import EventKind, TraceEvent, TraceLog
+
+__all__ = [
+    "JsonlTraceWriter",
+    "event_to_dict",
+    "event_from_dict",
+    "export_jsonl",
+    "iter_jsonl",
+    "read_jsonl",
+    "to_prometheus_text",
+]
+
+
+# ----------------------------------------------------------------------
+# JSONL traces
+# ----------------------------------------------------------------------
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
+    return {"t": event.time, "kind": event.kind.value, "payload": event.payload}
+
+
+def _revive_int_keys(value: Any) -> Any:
+    """Undo JSON's string-keyed dicts for node-index maps.
+
+    Payload dicts keyed by node index (``cores_by_node``) come back from
+    JSON with string keys; digit-string keys are converted back to ``int``
+    recursively so the round-trip is identity on real traces (payloads
+    never use digit strings as semantic keys).
+    """
+    if isinstance(value, dict):
+        return {
+            (int(k) if isinstance(k, str) and k.isdigit() else k): _revive_int_keys(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, list):
+        return [_revive_int_keys(v) for v in value]
+    return value
+
+
+def event_from_dict(data: dict[str, Any]) -> TraceEvent:
+    return TraceEvent(
+        time=float(data["t"]),
+        kind=EventKind(data["kind"]),
+        payload=_revive_int_keys(data["payload"]),
+    )
+
+
+class JsonlTraceWriter:
+    """A trace subscriber that streams every event to a text file object.
+
+    >>> from repro.sim.events import TraceLog, EventKind
+    >>> import io
+    >>> buf, log = io.StringIO(), TraceLog()
+    >>> writer = log.subscribe(JsonlTraceWriter(buf))
+    >>> _ = log.record(0.0, EventKind.JOB_SUBMIT, job_id="j1")
+    >>> buf.getvalue().startswith('{"t": 0.0')
+    True
+    """
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+        self.events_written = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        self.stream.write(json.dumps(event_to_dict(event)) + "\n")
+        self.events_written += 1
+
+
+def export_jsonl(
+    trace: Iterable[TraceEvent], stream_or_path: IO[str] | str | os.PathLike
+) -> int:
+    """Write every retained event as one JSON line; returns the count."""
+    if isinstance(stream_or_path, (str, os.PathLike)):
+        with open(stream_or_path, "w", encoding="utf-8") as fh:
+            return export_jsonl(trace, fh)
+    count = 0
+    for event in trace:
+        stream_or_path.write(json.dumps(event_to_dict(event)) + "\n")
+        count += 1
+    return count
+
+
+def iter_jsonl(
+    stream_or_path: IO[str] | str | os.PathLike,
+) -> Iterator[TraceEvent]:
+    """Parse a JSONL trace lazily (blank lines skipped)."""
+    if isinstance(stream_or_path, (str, os.PathLike)):
+        with open(stream_or_path, "r", encoding="utf-8") as fh:
+            yield from iter_jsonl(fh)
+        return
+    for line in stream_or_path:
+        line = line.strip()
+        if line:
+            yield event_from_dict(json.loads(line))
+
+
+def read_jsonl(stream_or_path: IO[str] | str | os.PathLike) -> TraceLog:
+    """Rebuild an (unbounded) :class:`TraceLog` from a JSONL export."""
+    log = TraceLog()
+    for event in iter_jsonl(stream_or_path):
+        log.record(event.time, event.kind, **event.payload)
+    return log
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for instrument in registry.collect():
+        name = instrument.name
+        if name not in seen_headers:
+            seen_headers.add(name)
+            help_text = registry.help_for(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {registry.type_of(name)}")
+        if isinstance(instrument, (Counter, Gauge)):
+            lines.append(
+                f"{name}{_format_labels(instrument.labels)} "
+                f"{_format_value(instrument.value)}"
+            )
+        elif isinstance(instrument, Histogram):
+            # bucket_counts are already cumulative (observe() increments
+            # every bucket whose bound admits the value)
+            for bound, count in instrument.cumulative_buckets():
+                le = _format_labels(
+                    instrument.labels, f'le="{_format_value(bound)}"'
+                )
+                lines.append(f"{name}_bucket{le} {count}")
+            inf = _format_labels(instrument.labels, 'le="+Inf"')
+            lines.append(f"{name}_bucket{inf} {instrument.count}")
+            lines.append(
+                f"{name}_sum{_format_labels(instrument.labels)} "
+                f"{_format_value(instrument.sum)}"
+            )
+            lines.append(
+                f"{name}_count{_format_labels(instrument.labels)} {instrument.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Minimal parser for round-trip tests: ``name{labels}`` -> value.
+
+    Ignores comments; label sets are kept verbatim inside the key.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        out[key] = float(value)
+    return out

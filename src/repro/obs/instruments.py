@@ -1,0 +1,165 @@
+"""Instrument bundles wired into the batch-stack components.
+
+Each component owns at most one bundle, created only when telemetry is
+enabled; every hook site in the hot path is therefore a single
+``if self._obs is not None`` check when telemetry is off.  The bundles
+pre-resolve their instruments once, so enabled-path updates are plain
+attribute access plus a float add.
+
+Instrument catalogue (all names are also documented in
+``docs/OBSERVABILITY.md``):
+
+========================================== =========== ==========================
+name                                        type        source
+========================================== =========== ==========================
+repro_jobs_submitted_total                  counter     rms.server
+repro_jobs_started_total                    counter     rms.server
+repro_jobs_completed_total                  counter     rms.server
+repro_jobs_aborted_total                    counter     rms.server
+repro_jobs_preempted_total                  counter     rms.server
+repro_dyn_requests_total                    counter     rms.server
+repro_dyn_grants_total                      counter     rms.server
+repro_dyn_rejects_total                     counter     rms.server
+repro_dyn_satisfied_jobs_total              counter     rms.server
+repro_queue_depth                           gauge       rms.server
+repro_dyn_queue_depth                       gauge       rms.server
+repro_running_jobs                          gauge       rms.server
+repro_sched_iterations_total                counter     maui.scheduler
+repro_sched_backfill_starts_total           counter     maui.scheduler
+repro_sched_preemptions_total               counter     maui.scheduler
+repro_sched_reservations_total              counter     maui.scheduler
+repro_sched_malleable_shrinks_total         counter     maui.scheduler
+repro_sched_jobs_molded_total               counter     maui.scheduler
+repro_sched_delay_charged_seconds_total     counter     maui.scheduler
+repro_dfs_ledger_delay_seconds{kind,name}   gauge       maui.scheduler (per iteration)
+repro_sched_iteration_seconds               histogram   maui.scheduler (wall clock)
+repro_dyn_handle_seconds                    histogram   maui.scheduler (wall clock)
+repro_busy_cores                            gauge       cluster.machine
+========================================== =========== ==========================
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import Telemetry
+
+__all__ = ["ServerInstruments", "SchedulerInstruments", "ClusterInstruments"]
+
+
+class ServerInstruments:
+    """Job-lifecycle and dynamic-request instruments for the RMS server."""
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        registry: MetricsRegistry = telemetry.registry
+        self.submitted = registry.counter(
+            "repro_jobs_submitted_total", "Jobs submitted (qsub)"
+        )
+        self.started = registry.counter(
+            "repro_jobs_started_total", "Jobs started (priority or backfill)"
+        )
+        self.completed = registry.counter(
+            "repro_jobs_completed_total", "Jobs that completed normally"
+        )
+        self.aborted = registry.counter(
+            "repro_jobs_aborted_total", "Jobs aborted (walltime, qdel, failures)"
+        )
+        self.preempted = registry.counter(
+            "repro_jobs_preempted_total", "Preemptions (job requeued)"
+        )
+        self.dyn_requests = registry.counter(
+            "repro_dyn_requests_total", "Dynamic requests entering the FIFO"
+        )
+        self.dyn_grants = registry.counter(
+            "repro_dyn_grants_total", "Dynamic requests granted"
+        )
+        self.dyn_rejects = registry.counter(
+            "repro_dyn_rejects_total", "Dynamic requests rejected"
+        )
+        self.satisfied_jobs = registry.counter(
+            "repro_dyn_satisfied_jobs_total",
+            "Evolving jobs whose first dynamic request was granted (Table II)",
+        )
+        self.queue_depth = registry.gauge(
+            "repro_queue_depth", "Queued (static) jobs"
+        )
+        self.dyn_queue_depth = registry.gauge(
+            "repro_dyn_queue_depth", "Pending dynamic requests"
+        )
+        self.running_jobs = registry.gauge(
+            "repro_running_jobs", "Jobs currently holding resources"
+        )
+
+    def update_depths(self, server) -> None:
+        self.queue_depth.set(len(server.queue))
+        self.dyn_queue_depth.set(len(server.dyn_queue))
+        self.running_jobs.set(sum(1 for j in server.jobs.values() if j.is_active))
+
+
+class SchedulerInstruments:
+    """Iteration counters, DFS ledger gauges and wall-clock histograms."""
+
+    #: scheduler ``stats`` keys mirrored 1:1 into counters
+    _STAT_COUNTERS = (
+        ("iterations", "repro_sched_iterations_total", "Scheduling iterations run"),
+        ("jobs_backfilled", "repro_sched_backfill_starts_total", "Backfill starts"),
+        ("preemptions", "repro_sched_preemptions_total", "Scheduler-initiated preemptions"),
+        ("reservations_created", "repro_sched_reservations_total", "Reservations created"),
+        ("malleable_shrinks", "repro_sched_malleable_shrinks_total", "Malleable shrink operations"),
+        ("jobs_molded", "repro_sched_jobs_molded_total", "Moldable jobs started below requested size"),
+        ("total_delay_charged", "repro_sched_delay_charged_seconds_total", "Foreign delay charged to DFS ledgers [s]"),
+    )
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        registry = telemetry.registry
+        self.tracer = telemetry.tracer
+        self._stat_mirror = [
+            (stat_key, registry.counter(name, help_text))
+            for stat_key, name, help_text in self._STAT_COUNTERS
+        ]
+        self.iteration_seconds = registry.histogram(
+            "repro_sched_iteration_seconds",
+            "Wall-clock cost of one full scheduling iteration",
+        )
+        self.dyn_handle_seconds = registry.histogram(
+            "repro_dyn_handle_seconds",
+            "Wall-clock cost of servicing one dynamic request (Fig. 12)",
+        )
+        self._registry = registry
+
+    def sync_stats(self, stats: dict) -> None:
+        """Mirror the scheduler's cumulative stats into counters."""
+        for stat_key, counter in self._stat_mirror:
+            counter.set_total(stats[stat_key])
+
+    def sync_ledger(self, snapshot: dict[tuple[str, str], float]) -> None:
+        """Publish per-principal DFS delay levels as labelled gauges."""
+        for (kind, name), delay in snapshot.items():
+            self._registry.gauge(
+                "repro_dfs_ledger_delay_seconds",
+                "Cumulative delay charged this DFS interval",
+                labels={"kind": kind, "principal": name},
+            ).set(delay)
+
+    def end_iteration(self, sim_time: float, wall_ns: int, events: int) -> None:
+        self.iteration_seconds.observe(wall_ns / 1e9)
+        self.tracer.record("sched_iteration", sim_time, wall_ns, events)
+
+    def end_dyn_handle(self, sim_time: float, wall_ns: int, events: int) -> None:
+        self.dyn_handle_seconds.observe(wall_ns / 1e9)
+        self.tracer.record("dyn_request", sim_time, wall_ns, events)
+
+
+class ClusterInstruments:
+    """Busy-core gauge plus the telemetry busy-integral feed."""
+
+    def __init__(self, telemetry: Telemetry, clock) -> None:
+        self.telemetry = telemetry
+        self._clock = clock  # the engine: .now is the sim clock
+        self.busy_cores = telemetry.registry.gauge(
+            "repro_busy_cores", "Cores currently allocated to jobs"
+        )
+
+    def on_busy_change(self, busy: int) -> None:
+        self.busy_cores.set(busy)
+        self.telemetry.on_busy_change(self._clock.now, busy)

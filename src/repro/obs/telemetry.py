@@ -1,0 +1,124 @@
+"""The telemetry facade: one object bundling registry, tracer and sampler.
+
+``Telemetry`` is what users hand to :class:`~repro.system.BatchSystem`:
+
+>>> from repro.obs import Telemetry
+>>> from repro.system import BatchSystem
+>>> tel = Telemetry(sample_interval=60.0)
+>>> system = BatchSystem(4, 8, telemetry=tel)
+
+With no telemetry object (the default) every component keeps a ``None``
+sentinel and each hook site reduces to a single attribute-is-None check —
+the disabled path is benchmarked to stay within 5 % of the uninstrumented
+scheduler hot path (``benchmarks/test_obs_overhead.py``).
+
+Besides the three sub-systems, the facade maintains the **busy-core
+integral**: every cluster claim/release reports the new busy count, and the
+running integral of busy-cores over sim-time makes utilization computable
+in O(1) at any moment — even when the event trace is a bounded ring that no
+longer holds the start of the run.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import PeriodicSampler
+from repro.obs.tracing import SpanTracer
+
+__all__ = ["Telemetry", "DEFAULT_SAMPLE_INTERVAL"]
+
+#: one sample per simulated minute — fine enough for ESP-scale workloads
+DEFAULT_SAMPLE_INTERVAL = 60.0
+
+
+class Telemetry:
+    """Registry + span tracer + periodic sampler + busy-core accounting."""
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        sample_interval: float | None = DEFAULT_SAMPLE_INTERVAL,
+        span_maxlen: int = 4096,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer(maxlen=span_maxlen)
+        self.sample_interval = sample_interval
+        self.sampler: PeriodicSampler | None = None
+        self._pending_sources: dict[str, object] = {}
+        # busy-core integral: sum of busy_cores * dt since attach
+        self._busy_last_time = 0.0
+        self._busy_last_value = 0
+        self._busy_integral = 0.0
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A telemetry object that records nothing (explicit no-op)."""
+        return cls(enabled=False, sample_interval=None)
+
+    # ------------------------------------------------------------------
+    # sampler lifecycle (wired by BatchSystem)
+    # ------------------------------------------------------------------
+    def ensure_sampler(self, engine) -> PeriodicSampler | None:
+        """Create the periodic sampler (without arming it) on the engine.
+
+        The sampler is armed later by :meth:`start_sampling` — typically at
+        the top of ``BatchSystem.run()``, once the workload's events are in
+        the queue; arming it on an empty engine would immediately stop it.
+        """
+        if not self.enabled or self.sample_interval is None:
+            return None
+        if self.sampler is None:
+            self.sampler = PeriodicSampler(engine, self.sample_interval)
+            for name, fn in self._pending_sources.items():
+                self.sampler.add_source(name, fn)
+        return self.sampler
+
+    def start_sampling(self) -> None:
+        """Arm the sampler (idempotent; no-op when sampling is off)."""
+        if self.sampler is not None:
+            self.sampler.start()
+
+    def add_source(self, name: str, fn) -> None:
+        """Register a sampled time-series source (no-op when disabled)."""
+        if not self.enabled or self.sample_interval is None:
+            return
+        self._pending_sources[name] = fn
+        if self.sampler is not None:
+            self.sampler.add_source(name, fn)
+
+    @property
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        """All sampled time series (empty when sampling is off)."""
+        return self.sampler.series if self.sampler is not None else {}
+
+    # ------------------------------------------------------------------
+    # busy-core integral (fed by the cluster's claim/release hook)
+    # ------------------------------------------------------------------
+    def reset_busy_clock(self, now: float, busy: int) -> None:
+        """(Re)anchor the integral; called when the cluster attaches."""
+        self._busy_last_time = float(now)
+        self._busy_last_value = int(busy)
+        self._busy_integral = 0.0
+
+    def on_busy_change(self, now: float, busy: int) -> None:
+        """The number of busy cores changed at sim-time ``now``."""
+        self._busy_integral += self._busy_last_value * (now - self._busy_last_time)
+        self._busy_last_time = now
+        self._busy_last_value = busy
+
+    def busy_core_seconds(self, upto: float | None = None) -> float:
+        """Integral of busy cores over sim-time since attach.
+
+        ``upto`` extends the integral to a later timestamp at the current
+        busy level (typically ``engine.now`` at collection time).
+        """
+        total = self._busy_integral
+        if upto is not None and upto > self._busy_last_time:
+            total += self._busy_last_value * (upto - self._busy_last_time)
+        return total
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Telemetry {state} registry={len(self.registry)} {self.tracer!r}>"

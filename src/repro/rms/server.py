@@ -18,6 +18,7 @@ Workflow for a dynamic allocation (paper Fig. 3):
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Protocol
 
 from repro.cluster.allocation import Allocation, ResourceRequest
@@ -30,6 +31,8 @@ from repro.sim.engine import Engine, EventHandle, PRIORITY_LIMIT
 from repro.sim.events import EventKind, TraceLog
 
 __all__ = ["Server", "Application"]
+
+log = logging.getLogger("repro.rms.server")
 
 
 class Application(Protocol):
@@ -47,10 +50,24 @@ class Application(Protocol):
 class Server:
     """The resource manager server daemon."""
 
-    def __init__(self, engine: Engine, cluster: Cluster, trace: TraceLog | None = None) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        trace: TraceLog | None = None,
+        *,
+        telemetry=None,
+    ) -> None:
         self.engine = engine
         self.cluster = cluster
         self.trace = trace if trace is not None else TraceLog()
+        #: optional :class:`repro.obs.Telemetry`; None = fully uninstrumented
+        self.telemetry = telemetry
+        self._obs = None
+        if telemetry is not None and telemetry.enabled:
+            from repro.obs.instruments import ServerInstruments
+
+            self._obs = ServerInstruments(telemetry)
         self.moms = MomManager(cluster)
         self.queue = JobQueue()
         #: FIFO of unresolved dynamic requests (paper: prioritised FIFO).
@@ -125,6 +142,12 @@ class Server:
             walltime=job.walltime,
             evolving=job.is_evolving,
         )
+        log.info("qsub %s user=%s %s wall=%.0fs", job.job_id, job.user,
+                 job.request, job.walltime)
+        obs = self._obs
+        if obs is not None:
+            obs.submitted.inc()
+            obs.update_depths(self)
         self._notify()
         return job
 
@@ -158,6 +181,12 @@ class Server:
             mother_superior=ms,
             wait=job.wait_time,
         )
+        log.info("start %s on %dc (backfill=%s wait=%.0fs)", job.job_id,
+                 allocation.total_cores, backfilled, job.wait_time or 0.0)
+        obs = self._obs
+        if obs is not None:
+            obs.started.inc()
+            obs.update_depths(self)
         # walltime enforcement: the job is killed when its time slice expires
         self._walltime_limits[job.job_id] = self.engine.after(
             job.walltime, self._walltime_expired, job, priority=PRIORITY_LIMIT
@@ -229,6 +258,12 @@ class Server:
             runtime=job.end_time - (job.start_time or job.end_time),
             **extra,
         )
+        log.info("%s %s after %.0fs", kind.value, job.job_id,
+                 job.end_time - (job.start_time or job.end_time))
+        obs = self._obs
+        if obs is not None:
+            (obs.completed if state is JobState.COMPLETED else obs.aborted).inc()
+            obs.update_depths(self)
 
     # ------------------------------------------------------------------
     # dynamic allocation path
@@ -276,6 +311,12 @@ class Server:
             request=str(request),
             negotiated=dreq.negotiated,
         )
+        log.info("dyn_request %s wants %s%s", job.job_id, request,
+                 " (negotiated)" if dreq.negotiated else "")
+        obs = self._obs
+        if obs is not None:
+            obs.dyn_requests.inc()
+            obs.update_depths(self)
         self._notify()
         return dreq
 
@@ -315,6 +356,11 @@ class Server:
             request=f"walltime+{extra_seconds:.0f}s",
             negotiated=False,
         )
+        log.info("extension request %s +%.0fs", job.job_id, extra_seconds)
+        obs = self._obs
+        if obs is not None:
+            obs.dyn_requests.inc()
+            obs.update_depths(self)
         self._notify()
         return dreq
 
@@ -346,6 +392,23 @@ class Server:
             walltime_extension=dreq.extend_walltime,
             new_walltime=job.walltime,
         )
+        # dedicated observation for the extension path (previously only the
+        # generic cores=0 DYN_GRANT hinted at what actually happened)
+        self.trace.record(
+            self.engine.now,
+            EventKind.WALLTIME_EXTENSION_GRANT,
+            job_id=job.job_id,
+            user=job.user,
+            extension=dreq.extend_walltime,
+            new_walltime=job.walltime,
+        )
+        log.info("extension granted %s -> walltime %.0fs", job.job_id, job.walltime)
+        obs = self._obs
+        if obs is not None:
+            obs.dyn_grants.inc()
+            if job.dyn_granted == 1 and job.is_evolving:
+                obs.satisfied_jobs.inc()
+            obs.update_depths(self)
         dreq.resolve(job.allocation)
         self._notify()
 
@@ -376,6 +439,14 @@ class Server:
             cores_by_node=dict(allocation.items()),
             total_cores=job.allocation.total_cores,
         )
+        log.info("dyn_grant %s +%dc -> %dc", job.job_id,
+                 allocation.total_cores, job.allocation.total_cores)
+        obs = self._obs
+        if obs is not None:
+            obs.dyn_grants.inc()
+            if job.dyn_granted == 1 and job.is_evolving:
+                obs.satisfied_jobs.inc()
+            obs.update_depths(self)
         dreq.resolve(allocation)
         self._notify()
 
@@ -395,6 +466,11 @@ class Server:
             request=str(dreq.request),
             reason=reason,
         )
+        log.info("dyn_reject %s: %s", job.job_id, reason or "no reason")
+        obs = self._obs
+        if obs is not None:
+            obs.dyn_rejects.inc()
+            obs.update_depths(self)
         dreq.resolve(None)
         # no notify: a rejection frees nothing and starts nothing
 
@@ -443,6 +519,20 @@ class Server:
                 f"{job.job_id}: shrink handler reported {released} cores "
                 f"but released {actual}"
             )
+        if actual:
+            # the DYN_RELEASE events recorded by the handler's tm_dynfree
+            # calls show cores moving, but not *why*: this marks the
+            # scheduler-initiated shrink as its own observation
+            self.trace.record(
+                self.engine.now,
+                EventKind.MALLEABLE_SHRINK,
+                job_id=job.job_id,
+                user=job.user,
+                cores_wanted=cores_wanted,
+                cores_released=actual,
+            )
+            log.info("malleable shrink %s released %dc of %dc wanted",
+                     job.job_id, actual, cores_wanted)
         return actual
 
     def merge_allocations(self, stub: Job, parent: Job) -> Allocation:
@@ -495,6 +585,12 @@ class Server:
             total_cores=parent.allocation.total_cores,
             merged_from=stub.job_id,
         )
+        obs = self._obs
+        if obs is not None:
+            obs.dyn_grants.inc()
+            if parent.dyn_granted == 1 and parent.is_evolving:
+                obs.satisfied_jobs.inc()
+            obs.update_depths(self)
         self._notify()
         return transferred
 
@@ -520,6 +616,7 @@ class Server:
             node=node_index,
             affected=[j.job_id for j in affected],
         )
+        log.warning("node %d failed; %d job(s) affected", node_index, len(affected))
         # release every affected job first so the node is fully idle
         for job in affected:
             if requeue:
@@ -552,6 +649,14 @@ class Server:
         ctx_for_checkpoint = self._contexts.get(job.job_id)
         if ctx_for_checkpoint is not None and ctx_for_checkpoint.checkpoint_handler:
             ctx_for_checkpoint.checkpoint_handler()
+            self.trace.record(
+                self.engine.now,
+                EventKind.CHECKPOINT,
+                job_id=job.job_id,
+                user=job.user,
+                work_saved=job.metadata.get("checkpoint_work", 0.0),
+            )
+            log.info("checkpoint %s before preemption", job.job_id)
         for dreq in [d for d in self.dyn_queue if d.job is job]:
             self.dyn_queue.remove(dreq)
             dreq.resolve(None)
@@ -577,6 +682,11 @@ class Server:
         job.state = JobState.QUEUED
         job.metadata["preempt_count"] = job.metadata.get("preempt_count", 0) + 1
         self.queue.push(job)
+        log.info("preempt %s released %dc", job.job_id, released.total_cores)
+        obs = self._obs
+        if obs is not None:
+            obs.preempted.inc()
+            obs.update_depths(self)
         self._notify()
 
     def __repr__(self) -> str:

@@ -4,13 +4,21 @@ Trace events are *observations*, not control flow: the engine drives the
 simulation through callbacks, while components append :class:`TraceEvent`
 records to a shared :class:`TraceLog` so that tests, metrics and experiment
 harnesses can reconstruct exactly what happened and when.
+
+The log doubles as the head of the **streaming trace pipeline**
+(``repro.obs``): subscribers registered with :meth:`TraceLog.subscribe` see
+every event synchronously as it is recorded (in subscription order, so the
+pipeline inherits the engine's determinism), and an optional ``maxlen``
+turns the backing store into a bounded ring buffer for long campaigns —
+subscribers still see *every* event, only the retained tail is bounded.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 
 class EventKind(enum.Enum):
@@ -31,6 +39,12 @@ class EventKind(enum.Enum):
     DFS_INTERVAL_ROLL = "dfs_interval_roll"
     NODE_FAIL = "node_fail"
     NODE_RECOVER = "node_recover"
+    # paths that previously left no observation behind
+    WALLTIME_EXTENSION_GRANT = "walltime_extension_grant"
+    WALLTIME_EXTENSION_DENY = "walltime_extension_deny"
+    MALLEABLE_SHRINK = "malleable_shrink"
+    CHECKPOINT = "checkpoint"
+    MOLDABLE_START = "moldable_start"
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,17 +65,65 @@ class TraceEvent:
 
 
 class TraceLog:
-    """Append-only ordered log of :class:`TraceEvent` records."""
+    """Ordered log of :class:`TraceEvent` records with streaming subscribers.
 
-    def __init__(self) -> None:
-        self._events: list[TraceEvent] = []
+    :param maxlen: when given, only the newest ``maxlen`` events are
+        retained (ring-buffer mode); :attr:`dropped` counts evictions and
+        :attr:`total_recorded` counts everything ever recorded.  Metrics
+        that replay the full trace (e.g. utilization reconstruction) need
+        an unbounded log or a live telemetry feed — see
+        ``docs/OBSERVABILITY.md``.
+    """
 
+    def __init__(self, maxlen: int | None = None) -> None:
+        if maxlen is not None and maxlen <= 0:
+            raise ValueError(f"maxlen must be positive: {maxlen}")
+        self.maxlen = maxlen
+        self._events: Any = [] if maxlen is None else deque(maxlen=maxlen)
+        #: events evicted by the ring buffer since the last :meth:`clear`
+        self.dropped: int = 0
+        #: events ever recorded (including evicted ones)
+        self.total_recorded: int = 0
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    # recording & streaming
+    # ------------------------------------------------------------------
     def record(self, time: float, kind: EventKind, **payload: Any) -> TraceEvent:
-        """Append an event and return it."""
+        """Append an event, fan it out to subscribers, and return it."""
         ev = TraceEvent(time=time, kind=kind, payload=payload)
+        if self.maxlen is not None and len(self._events) == self.maxlen:
+            self.dropped += 1
         self._events.append(ev)
+        self.total_recorded += 1
+        for subscriber in self._subscribers:
+            subscriber(ev)
         return ev
 
+    def subscribe(
+        self, callback: Callable[[TraceEvent], None]
+    ) -> Callable[[TraceEvent], None]:
+        """Register a callback invoked synchronously for every new event.
+
+        Callbacks run in subscription order on the recording (engine)
+        thread, so downstream consumers observe the exact deterministic
+        event order of the simulation.  Returns the callback for use as a
+        decorator or an :meth:`unsubscribe` token.
+        """
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Remove a previously registered subscriber (ValueError if absent)."""
+        self._subscribers.remove(callback)
+
+    @property
+    def subscribers(self) -> tuple[Callable[[TraceEvent], None], ...]:
+        return tuple(self._subscribers)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._events)
 
@@ -70,6 +132,13 @@ class TraceLog:
 
     def __getitem__(self, idx: int) -> TraceEvent:
         return self._events[idx]
+
+    def tail(self, n: int) -> list[TraceEvent]:
+        """The newest ``n`` retained events, oldest first."""
+        if n <= 0:
+            return []
+        events = list(self._events)
+        return events[-n:]
 
     def of_kind(self, kind: EventKind) -> list[TraceEvent]:
         """All events of the given kind, in time order."""
@@ -85,3 +154,5 @@ class TraceLog:
 
     def clear(self) -> None:
         self._events.clear()
+        self.dropped = 0
+        self.total_recorded = 0

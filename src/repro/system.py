@@ -18,6 +18,8 @@ Example
 
 from __future__ import annotations
 
+import logging
+
 from repro.cluster.machine import Cluster
 from repro.jobs.job import Job
 from repro.maui.config import MauiConfig
@@ -28,6 +30,8 @@ from repro.sim.engine import Engine
 from repro.sim.events import TraceLog
 
 __all__ = ["BatchSystem"]
+
+log = logging.getLogger("repro.system")
 
 
 class BatchSystem:
@@ -41,6 +45,8 @@ class BatchSystem:
         *,
         cluster: Cluster | None = None,
         start_time: float = 0.0,
+        telemetry=None,
+        trace_maxlen: int | None = None,
     ) -> None:
         self.engine = Engine(start_time=start_time)
         if cluster is None:
@@ -52,8 +58,16 @@ class BatchSystem:
                 num_nodes, cores_per_node, dynamic_partition_nodes=dyn_nodes
             )
         self.cluster = cluster
-        self.trace = TraceLog()
-        self.server = Server(self.engine, self.cluster, self.trace)
+        self.trace = TraceLog(maxlen=trace_maxlen)
+        #: optional :class:`repro.obs.Telemetry`; None keeps every hook site
+        #: a single attribute check (the benchmarked disabled path)
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.ensure_sampler(self.engine)
+            self.cluster.attach_telemetry(telemetry, self.engine)
+        self.server = Server(
+            self.engine, self.cluster, self.trace, telemetry=telemetry
+        )
         self.scheduler = MauiScheduler(self.engine, self.cluster, self.server, config)
 
     @property
@@ -75,11 +89,24 @@ class BatchSystem:
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Run the simulation to completion (or ``until``)."""
-        return self.engine.run(until=until, max_events=max_events)
+        if self.telemetry is not None:
+            # arm here, not at construction: the sampler only re-arms while
+            # events are pending, so it must start after the workload queued
+            self.telemetry.start_sampling()
+        processed = self.engine.run(until=until, max_events=max_events)
+        log.info(
+            "run finished: t=%.1f, %d events processed, %d trace events recorded",
+            self.engine.now,
+            processed,
+            self.trace.total_recorded,
+        )
+        return processed
 
     def metrics(self) -> WorkloadMetrics:
         """Workload metrics over everything submitted so far."""
-        return WorkloadMetrics.from_server(self.server, self.cluster)
+        return WorkloadMetrics.from_server(
+            self.server, self.cluster, telemetry=self.telemetry
+        )
 
     def __repr__(self) -> str:
         return f"<BatchSystem t={self.engine.now:.1f} {self.cluster!r}>"

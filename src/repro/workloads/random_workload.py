@@ -15,7 +15,17 @@ from repro.cluster.allocation import ResourceRequest
 from repro.jobs.evolution import EvolutionProfile
 from repro.workloads.spec import JobSpec, Workload
 
-__all__ = ["make_random_workload", "make_diurnal_workload"]
+__all__ = [
+    "make_random_workload",
+    "make_diurnal_workload",
+    "run_random_campaign",
+    "DEFAULT_CAMPAIGN_TRACE_MAXLEN",
+]
+
+#: campaign runs keep a bounded event trace by default: long random
+#: campaigns otherwise accumulate millions of events nobody replays —
+#: utilization stays exact via the telemetry busy-core integral
+DEFAULT_CAMPAIGN_TRACE_MAXLEN = 100_000
 
 
 def make_random_workload(
@@ -81,6 +91,66 @@ def make_random_workload(
                 )
             )
     return Workload(specs=specs, name=f"random-{num_jobs}")
+
+
+def run_random_campaign(
+    num_jobs: int,
+    *,
+    num_nodes: int = 15,
+    cores_per_node: int = 8,
+    config=None,
+    seeds: list[int] | None = None,
+    trace_maxlen: int | None = DEFAULT_CAMPAIGN_TRACE_MAXLEN,
+    evolving_share: float = 0.3,
+    mean_interarrival: float = 60.0,
+) -> list[dict]:
+    """Run the random workload over several seeds with bounded telemetry.
+
+    Each seed gets its own :class:`~repro.obs.Telemetry` and a ring-buffer
+    trace of ``trace_maxlen`` events (pass ``None`` for an unbounded trace).
+    Returns one summary dict per seed — utilization comes from the live
+    busy-core integral, so it is exact even after the ring has dropped the
+    start of the run.
+    """
+    # imported here: repro.system imports the workload machinery at package
+    # import time, so a module-level import would be circular
+    from repro.obs import Telemetry
+    from repro.system import BatchSystem
+
+    if seeds is None:
+        seeds = [0, 1, 2]
+    total_cores = num_nodes * cores_per_node
+    rows: list[dict] = []
+    for seed in seeds:
+        telemetry = Telemetry()
+        system = BatchSystem(
+            num_nodes,
+            cores_per_node,
+            config,
+            telemetry=telemetry,
+            trace_maxlen=trace_maxlen,
+        )
+        make_random_workload(
+            num_jobs,
+            total_cores,
+            evolving_share=evolving_share,
+            mean_interarrival=mean_interarrival,
+            seed=seed,
+        ).submit_to(system)
+        system.run(max_events=5_000_000)
+        m = system.metrics()
+        rows.append(
+            {
+                "seed": seed,
+                "completed": m.completed_jobs,
+                "satisfied": m.satisfied_dyn_jobs,
+                "util_pct": 100.0 * m.utilization,
+                "mean_wait": m.mean_wait,
+                "trace_events": len(system.trace),
+                "trace_dropped": system.trace.dropped,
+            }
+        )
+    return rows
 
 
 def make_diurnal_workload(

@@ -1,0 +1,117 @@
+"""CLI telemetry views: trace tail, timeline sparklines, metrics dump."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs.console import (
+    render_event_tail,
+    render_ledger_table,
+    render_series_sparkline,
+    sparkline,
+)
+from repro.sim.events import EventKind, TraceLog
+
+
+class TestParser:
+    def test_new_artifacts_accepted(self):
+        for artifact in ("trace", "timeline", "metrics"):
+            assert build_parser().parse_args([artifact]).artifact == artifact
+
+    def test_telemetry_options(self):
+        args = build_parser().parse_args(
+            ["trace", "--tail", "5", "--sample-interval", "30",
+             "--trace-maxlen", "1000", "-vv"]
+        )
+        assert args.tail == 5
+        assert args.sample_interval == 30.0
+        assert args.trace_maxlen == 1000
+        assert args.verbose == 2
+
+    def test_telemetry_out_option(self):
+        args = build_parser().parse_args(["table2", "--telemetry-out", "/tmp/x"])
+        assert args.telemetry_out == "/tmp/x"
+
+
+class TestConsoleRenderers:
+    def test_event_tail_golden(self):
+        log = TraceLog()
+        log.record(0.0, EventKind.JOB_SUBMIT, job_id="job.1", user="a")
+        log.record(10.5, EventKind.JOB_START, job_id="job.1", cores=8)
+        out = render_event_tail(log, n=10)
+        assert out.splitlines() == [
+            "t=        0.00  job_submit               job_id=job.1, user=a",
+            "t=       10.50  job_start                cores=8, job_id=job.1",
+        ]
+
+    def test_event_tail_notes_hidden_and_dropped(self):
+        log = TraceLog(maxlen=3)
+        for t in range(5):
+            log.record(float(t), EventKind.JOB_SUBMIT)
+        out = render_event_tail(log, n=2)
+        assert "... 3 earlier events not shown, 2 dropped by ring buffer ..." in out
+
+    def test_event_tail_empty(self):
+        assert render_event_tail(TraceLog()) == "(no events recorded)"
+
+    def test_sparkline_golden(self):
+        assert sparkline([0.0, 0.5, 1.0]) == "▁▅█"
+        assert sparkline([2.0, 2.0]) == "▁▁"
+        assert sparkline([]) == ""
+
+    def test_series_sparkline_downsamples(self):
+        series = [(float(t), float(t % 10)) for t in range(1000)]
+        out = render_series_sparkline("queue", series, width=40)
+        lines = out.splitlines()
+        assert lines[0].startswith("queue  t=[0s .. 999s]")
+        assert len(lines[1].strip()) == 42  # 40 chars plus brackets
+
+    def test_ledger_table_golden(self):
+        out = render_ledger_table({("user", "alice"): 120.0, ("group", "g1"): 60.5})
+        assert out.splitlines() == [
+            "DFS ledger (cumulative delay charged this interval)",
+            "  kind     principal            delay[s]",
+            "  group    g1                       60.5",
+            "  user     alice                   120.0",
+        ]
+
+    def test_ledger_table_empty(self):
+        assert "(no delay charged)" in render_ledger_table({})
+
+
+class TestMain:
+    def test_trace_prints_tail(self, capsys):
+        assert main(["trace", "--tail", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "last 5 trace events" in out
+        assert "job_end" in out
+
+    def test_timeline_prints_sparklines(self, capsys):
+        assert main(["timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out and "queue_depth" in out
+        assert any(ch in out for ch in "▁▂▃▄▅▆▇█")
+
+    def test_metrics_prints_registry_and_spans(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_sched_iterations_total counter" in out
+        assert "repro_jobs_completed_total 230" in out  # the ESP workload
+        assert "DFS ledger" in out
+        assert "sched_iteration" in out  # span summary table
+
+    def test_verbose_flag_emits_component_logs(self, capsys):
+        import logging
+
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        try:
+            # a fresh seed defeats the shared run cache so the run happens
+            # (and logs) inside this verbose invocation
+            assert main(["-v", "trace", "--tail", "1", "--seed", "7"]) == 0
+            err = capsys.readouterr().err
+            assert "repro.rms.server" in err
+        finally:
+            for handler in logger.handlers[:]:
+                if handler not in before:
+                    logger.removeHandler(handler)
+            logger.setLevel(logging.NOTSET)
