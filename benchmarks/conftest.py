@@ -4,11 +4,26 @@ Each benchmark regenerates one of the paper's tables/figures and registers
 the rendered artifact here; the terminal summary prints them all, so
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures both
 the timings and the reproduced results.
+
+Benchmarks additionally record machine-readable numbers via
+:func:`record_bench`; at session end they are written to ``BENCH_PR2.json``
+at the repo root (see ``docs/PERFORMANCE.md`` for how to read it).  The
+snapshot always carries ``cpu_count`` — wall-clock comparisons (serial vs
+parallel campaigns in particular) are meaningless without it.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+from pathlib import Path
+
 _REPORTS: list[tuple[str, str]] = []
+_BENCH: dict[str, dict[str, dict]] = {}
+
+#: repo-root snapshot file for this PR's performance numbers
+BENCH_SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 
 
 def register_report(title: str, text: str) -> None:
@@ -17,7 +32,33 @@ def register_report(title: str, text: str) -> None:
         _REPORTS.append((title, text))
 
 
+def record_bench(group: str, name: str, **values) -> None:
+    """Record one benchmark measurement for the ``BENCH_PR2.json`` snapshot.
+
+    ``group``/``name`` mirror the pytest-benchmark group and test; ``values``
+    are plain JSON-serialisable numbers (seconds, counts, ratios).  Repeat
+    calls with the same name overwrite — the snapshot keeps the last run.
+    """
+    _BENCH.setdefault(group, {})[name] = values
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH:
+        return
+    payload = {
+        "schema": "repro-bench/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "groups": _BENCH,
+    }
+    BENCH_SNAPSHOT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def pytest_terminal_summary(terminalreporter):
+    if _BENCH:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"bench snapshot written to {BENCH_SNAPSHOT}")
     if not _REPORTS:
         return
     terminalreporter.write_sep("=", "reproduced paper artifacts")

@@ -2,13 +2,16 @@
 
 Not a paper artifact — these guard the performance of the data structures
 everything else sits on (the "measure before optimising" discipline): event
-throughput of the engine, availability-profile queries at realistic
-breakpoint counts, and the full-iteration cost of the scheduler on a deep
-queue.
+throughput of the engine (with and without cancellation churn),
+availability-profile queries at realistic breakpoint counts, and the
+full-iteration cost of the scheduler on a deep queue with the profile
+cache on and off.  Each test records its headline number into
+``BENCH_PR2.json`` via :func:`benchmarks.conftest.record_bench`.
 """
 
 import pytest
 
+from benchmarks.conftest import record_bench
 from repro.cluster.allocation import Allocation, ResourceRequest
 from repro.cluster.profile import AvailabilityProfile
 from repro.maui.config import MauiConfig
@@ -36,6 +39,46 @@ def test_engine_event_throughput(benchmark):
         return count
 
     assert benchmark(run_events) == 10_000
+    record_bench(
+        "kernel", "engine_event_throughput",
+        wall_seconds=benchmark.stats.stats.mean,
+        events=10_000,
+        events_per_second=10_000 / benchmark.stats.stats.mean,
+    )
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_engine_cancel_churn(benchmark):
+    """Schedule/cancel/replace 10k events — the walltime-limit pattern.
+
+    Every processed event cancels a pending "limit" and schedules a new
+    one, exactly what job completions do to their walltime enforcement
+    events.  Tombstone compaction keeps the heap bounded; this bench
+    guards the amortised cost of that lazy purge.
+    """
+
+    def churn():
+        engine = Engine()
+        pending = []
+
+        def tick():
+            if pending:
+                pending.pop(0).cancel()
+            pending.append(engine.at(engine.now + 1000.0, lambda: None))
+
+        for i in range(10_000):
+            engine.at(float(i), tick)
+        engine.run(until=10_000.0)
+        return engine.heap_size
+
+    heap_size = benchmark(churn)
+    assert heap_size < 10_000  # compaction actually ran
+    record_bench(
+        "kernel", "engine_cancel_churn",
+        wall_seconds=benchmark.stats.stats.mean,
+        events=10_000,
+        final_heap_size=heap_size,
+    )
 
 
 @pytest.mark.benchmark(group="kernel")
@@ -54,32 +97,70 @@ def test_profile_earliest_fit_under_load(benchmark):
 
     t, alloc = benchmark(query)
     assert alloc.total_cores == 60
+    record_bench(
+        "kernel", "profile_earliest_fit",
+        wall_seconds=benchmark.stats.stats.mean,
+        breakpoints=200,
+    )
+
+
+def _loaded_system() -> BatchSystem:
+    system = BatchSystem(
+        15, 8, MauiConfig(reservation_depth=5, reservation_delay_depth=5)
+    )
+    # fill the machine
+    for i in range(15):
+        system.submit(
+            Job(request=ResourceRequest(cores=8), walltime=5000.0, user=f"r{i%4}"),
+            FixedRuntimeApp(5000.0),
+        )
+    # deep queue of blocked jobs
+    for i in range(60):
+        system.submit(
+            Job(request=ResourceRequest(cores=32), walltime=600.0, user=f"q{i%6}"),
+            FixedRuntimeApp(600.0),
+        )
+    system.run(until=0.0)
+    return system
 
 
 @pytest.mark.benchmark(group="kernel")
-def test_scheduler_iteration_deep_queue(benchmark):
+@pytest.mark.parametrize("cache", [True, False], ids=["cache-on", "cache-off"])
+def test_scheduler_iteration_deep_queue(benchmark, cache):
     """One full iteration with 60 queued jobs and a loaded machine."""
 
     def setup():
-        system = BatchSystem(
-            15, 8, MauiConfig(reservation_depth=5, reservation_delay_depth=5)
-        )
-        # fill the machine
-        for i in range(15):
-            system.submit(
-                Job(request=ResourceRequest(cores=8), walltime=5000.0, user=f"r{i%4}"),
-                FixedRuntimeApp(5000.0),
-            )
-        # deep queue of blocked jobs
-        for i in range(60):
-            system.submit(
-                Job(request=ResourceRequest(cores=32), walltime=600.0, user=f"q{i%6}"),
-                FixedRuntimeApp(600.0),
-            )
-        system.run(until=0.0)
+        system = _loaded_system()
+        system.scheduler.profile_cache_enabled = cache
         return (system,), {}
 
     def iterate(system):
         system.scheduler.iteration()
 
     benchmark.pedantic(iterate, setup=setup, rounds=10, iterations=1)
+    record_bench(
+        "kernel",
+        f"scheduler_iteration_deep_queue_{'cache_on' if cache else 'cache_off'}",
+        wall_seconds=benchmark.stats.stats.mean,
+        queued_jobs=60,
+    )
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_profile_build_cached_vs_fresh(benchmark):
+    """_build_profile hit rate: repeated calls within one settled state."""
+    system = _loaded_system()
+    scheduler = system.scheduler
+    partitions = None
+
+    def build():
+        return scheduler._build_profile(partitions)
+
+    build()  # warm the cache entry
+    hits_before = scheduler.stats["profile_cache_hits"]
+    benchmark(build)
+    assert scheduler.stats["profile_cache_hits"] > hits_before
+    record_bench(
+        "kernel", "profile_build_cached",
+        wall_seconds=benchmark.stats.stats.mean,
+    )

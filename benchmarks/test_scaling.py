@@ -5,27 +5,25 @@ any core count.  This bench runs the Dyn-HP configuration on machines from
 8x8 to 64x8 cores, reporting both simulator wall-clock cost (does the
 availability-profile machinery stay tractable?) and schedule quality (ESP
 efficiency: ideal work time over actual makespan).
+
+Each scale is one :class:`~repro.exec.specs.ScalingRunSpec` through the
+shared spec worker function, so the bench measures exactly what a parallel
+campaign over machine sizes would execute per worker.
 """
 
 import pytest
 
-from benchmarks.conftest import register_report
-from repro.maui.config import MauiConfig
+from benchmarks.conftest import record_bench, register_report
+from repro.exec.specs import ScalingRunSpec, run_scaling_row
 from repro.metrics.report import render_table
-from repro.system import BatchSystem
-from repro.workloads.esp import ESP_JOB_TYPES, esp_core_count, make_esp_workload
+from repro.workloads.esp import ESP_JOB_TYPES, esp_core_count
 
 SIZES = [8, 15, 32, 64]  # nodes of 8 cores
 _rows: dict[int, list] = {}
 
 
-def run_at_scale(nodes: int) -> BatchSystem:
-    system = BatchSystem(
-        nodes, 8, MauiConfig(reservation_depth=5, reservation_delay_depth=5)
-    )
-    make_esp_workload(nodes * 8, dynamic=True, seed=2014).submit_to(system)
-    system.run(max_events=5_000_000)
-    return system
+def run_at_scale(nodes: int) -> dict:
+    return run_scaling_row(ScalingRunSpec(nodes))
 
 
 def ideal_work_seconds(total_cores: int) -> float:
@@ -36,21 +34,27 @@ def ideal_work_seconds(total_cores: int) -> float:
     )
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="scaling")
 @pytest.mark.parametrize("nodes", SIZES)
 def test_esp_at_machine_scale(benchmark, nodes):
-    system = benchmark.pedantic(run_at_scale, args=(nodes,), rounds=1, iterations=1)
-    m = system.metrics()
-    assert m.completed_jobs == 230
+    row = benchmark.pedantic(run_at_scale, args=(nodes,), rounds=1, iterations=1)
+    assert row["completed"] == 230
     total_cores = nodes * 8
-    efficiency = ideal_work_seconds(total_cores) / (total_cores * m.workload_time)
+    efficiency = ideal_work_seconds(total_cores) / (total_cores * row["workload_time"])
+    record_bench(
+        "scaling", f"esp_dyn_hp_{nodes}x8",
+        wall_seconds=benchmark.stats.stats.mean,
+        iterations=row["iterations"],
+        utilization_pct=row["util_pct"],
+    )
     _rows[nodes] = [
         f"{nodes}x8",
-        f"{m.workload_time_minutes:.1f}",
-        m.satisfied_dyn_jobs,
-        f"{100 * m.utilization:.1f}",
+        f"{row['time_min']:.1f}",
+        row["satisfied"],
+        f"{row['util_pct']:.1f}",
         f"{100 * efficiency:.1f}",
-        system.scheduler.stats["iterations"],
+        row["iterations"],
     ]
     if len(_rows) == len(SIZES):
         register_report(

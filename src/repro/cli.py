@@ -3,10 +3,15 @@
 Usage::
 
     repro-batchsim table1
-    repro-batchsim table2 [--seed N] [--telemetry-out DIR]
+    repro-batchsim table2 [--seed N] [--telemetry-out DIR] [-j N]
     repro-batchsim fig7 | fig8 | fig9 | fig10 | fig11 | fig12
+    repro-batchsim sweep | campaign [-j N]       # multi-seed campaigns
     repro-batchsim trace | timeline | metrics   # live telemetry views
     repro-batchsim all
+
+``-j/--jobs N`` fans multi-run campaigns (``sweep``, ``table2``,
+``campaign``) out over N worker processes (0 = every CPU); results are
+bit-identical to serial runs.
 
 ``trace``/``timeline``/``metrics`` run the Dyn-HP configuration once with
 telemetry enabled and render, respectively: the tail of the event trace, a
@@ -42,7 +47,9 @@ def _cmd_table2(args) -> str:
             + f"\n\ntelemetry written to {args.telemetry_out}/"
             "<config>.trace.jsonl and .metrics.prom"
         )
-    return render_table2(seed=args.seed)
+    from repro.experiments.table2 import run_table2
+
+    return render_table2(run_table2(seed=args.seed, workers=args.jobs))
 
 
 def _cmd_fig7(args) -> str:
@@ -117,7 +124,32 @@ def _cmd_export(args) -> str:
 def _cmd_sweep(args) -> str:
     from repro.experiments.sweep import render_sweep, run_seed_sweep
 
-    return render_sweep(run_seed_sweep())
+    return render_sweep(run_seed_sweep(workers=args.jobs))
+
+
+def _cmd_campaign(args) -> str:
+    from repro.metrics.report import render_table
+    from repro.workloads.random_workload import run_random_campaign
+
+    rows = run_random_campaign(args.num_jobs, workers=args.jobs)
+    body = [
+        [
+            row["seed"],
+            row["completed"],
+            row["satisfied"],
+            f"{row['util_pct']:.2f}",
+            f"{row['mean_wait']:.0f}",
+            row["trace_events"],
+            row["trace_dropped"],
+        ]
+        for row in rows
+    ]
+    return render_table(
+        ["Seed", "Completed", "Satisfied", "Util[%]", "Mean wait[s]",
+         "Trace events", "Dropped"],
+        body,
+        title=f"Random mixed-workload campaign ({args.num_jobs} jobs per seed)",
+    )
 
 
 def _cmd_gantt(args) -> str:
@@ -215,6 +247,7 @@ _COMMANDS = {
     "baselines": _cmd_baselines,
     "gantt": _cmd_gantt,
     "sweep": _cmd_sweep,
+    "campaign": _cmd_campaign,
     "export": _cmd_export,
     "trace": _cmd_trace,
     "timeline": _cmd_timeline,
@@ -233,6 +266,16 @@ def _positive_float(text: str) -> float:
     value = float(text)
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive: {text}")
+    return value
+
+
+def _jobs_count(text: str) -> int:
+    """Worker-count validator: N >= 1, or 0 meaning "use every CPU"."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 1 (or 0 for all CPUs): {text}"
+        )
     return value
 
 
@@ -285,6 +328,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="table2 only: dump per-config JSONL traces and Prometheus metrics",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=_jobs_count,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for sweep/table2/campaign "
+            "(0 = all CPUs; default: serial)"
+        ),
+    )
+    parser.add_argument(
+        "--num-jobs",
+        type=_positive_int,
+        default=200,
+        metavar="N",
+        help="campaign only: jobs per random workload seed (default 200)",
     )
     return parser
 

@@ -31,6 +31,9 @@ class Cluster:
         self._by_index = {n.index: n for n in self.nodes}
         #: busy-core instruments; None keeps claim/release uninstrumented
         self._obs = None
+        #: monotone counter bumped on every allocation/state change; lets
+        #: callers (the scheduler's profile cache) detect staleness in O(1)
+        self.version: int = 0
 
     def attach_telemetry(self, telemetry, clock) -> None:
         """Report busy-core changes to a telemetry facade.
@@ -164,6 +167,7 @@ class Cluster:
                 )
         for idx, count in allocation.items():
             self._by_index[idx].used += count
+        self.version += 1
         if self._obs is not None:
             self._obs.on_busy_change(self.used_cores)
 
@@ -179,6 +183,7 @@ class Cluster:
                 )
         for idx, count in allocation.items():
             self._by_index[idx].used -= count
+        self.version += 1
         if self._obs is not None:
             self._obs.on_busy_change(self.used_cores)
 
@@ -188,11 +193,13 @@ class Cluster:
     def fail_node(self, index: int) -> None:
         """Mark a node DOWN.  Caller is responsible for re-queueing jobs."""
         self._by_index[index].state = NodeState.DOWN
+        self.version += 1
         log.warning("node %s marked DOWN", self._by_index[index].name)
 
     def recover_node(self, index: int) -> None:
         node = self._by_index[index]
         node.state = NodeState.UP
+        self.version += 1
         log.info("node %s recovered", node.name)
 
     def __repr__(self) -> str:

@@ -1,0 +1,21 @@
+"""Process-parallel experiment execution (``repro.exec``).
+
+The paper's headline artifacts are *ensembles* of independent simulations —
+configurations × seeds × ablations.  Every run is hermetic (a fresh
+:class:`~repro.system.BatchSystem` driven by a seed), so campaigns
+parallelise perfectly across processes.  This package provides the one
+engine all experiment drivers share:
+
+* :func:`map_specs` — ordered parallel map over picklable run specs with a
+  graceful in-process fallback, so ``workers=1`` output is *bit-identical*
+  to ``workers=N``;
+* :func:`resolve_workers` — the ``--jobs`` contract (``0`` → all CPUs,
+  ``< 1`` otherwise rejected);
+* :mod:`repro.exec.specs` — the picklable run-spec dataclasses and
+  module-level worker functions for the ESP sweep, Table II, random
+  campaigns and the scaling bench.
+"""
+
+from repro.exec.engine import ExecProgress, map_specs, resolve_workers
+
+__all__ = ["ExecProgress", "map_specs", "resolve_workers"]

@@ -1,0 +1,187 @@
+"""Picklable run specs + module-level worker functions for the campaigns.
+
+Every experiment driver that fans out over the exec engine defines its unit
+of work here: a frozen dataclass (the *spec*, cheap to pickle into a worker
+process) and a module-level function that simulates it and returns a plain
+result (row dicts or an :class:`~repro.experiments.runner.ESPResult`).
+
+The drivers call these same functions on their serial path (``workers=1``),
+which is what makes parallel output bit-identical to serial output: there is
+exactly one implementation of "run this spec".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SweepRunSpec",
+    "Table2RunSpec",
+    "CampaignRunSpec",
+    "ScalingRunSpec",
+    "run_sweep_row",
+    "run_table2_result",
+    "run_campaign_row",
+    "run_scaling_row",
+]
+
+
+def _configuration(name: str):
+    from repro.experiments.configs import all_configurations
+
+    for configuration in all_configurations():
+        if configuration.name == name:
+            return configuration
+    raise ValueError(f"unknown ESP configuration: {name!r}")
+
+
+# ----------------------------------------------------------------------
+# seed sweep (Table II robustness)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepRunSpec:
+    """One (configuration, seed) cell of the seed sweep."""
+
+    config_name: str
+    seed: int
+    trace_maxlen: int | None = None
+
+
+def run_sweep_row(spec: SweepRunSpec) -> dict:
+    """Simulate one sweep cell and return its metric row."""
+    from repro.experiments.runner import run_esp_configuration
+
+    telemetry = None
+    if spec.trace_maxlen is not None:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry(sample_interval=None)
+    run = run_esp_configuration(
+        _configuration(spec.config_name),
+        seed=spec.seed,
+        telemetry=telemetry,
+        trace_maxlen=spec.trace_maxlen,
+    )
+    m = run.metrics
+    return {
+        "time_min": m.workload_time_minutes,
+        "satisfied": m.satisfied_dyn_jobs,
+        "util_pct": 100.0 * m.utilization,
+        "throughput": m.throughput_jobs_per_minute,
+        "mean_wait": m.mean_wait,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table2RunSpec:
+    """One Table II configuration run (full ESPResult comes back)."""
+
+    config_name: str
+    seed: int
+    num_nodes: int = 15
+    cores_per_node: int = 8
+
+
+def run_table2_result(spec: Table2RunSpec):
+    """Simulate one configuration and return the (picklable) ESPResult."""
+    from repro.experiments.runner import run_esp_configuration
+
+    return run_esp_configuration(
+        _configuration(spec.config_name),
+        num_nodes=spec.num_nodes,
+        cores_per_node=spec.cores_per_node,
+        seed=spec.seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# random campaigns
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignRunSpec:
+    """One seed of a random mixed-workload campaign."""
+
+    num_jobs: int
+    seed: int
+    num_nodes: int = 15
+    cores_per_node: int = 8
+    config: object | None = None  # a MauiConfig (dataclass, picklable) or None
+    trace_maxlen: int | None = None
+    evolving_share: float = 0.3
+    mean_interarrival: float = 60.0
+
+
+def run_campaign_row(spec: CampaignRunSpec) -> dict:
+    """Simulate one campaign seed and return its summary row."""
+    from repro.obs import Telemetry
+    from repro.system import BatchSystem
+    from repro.workloads.random_workload import make_random_workload
+
+    telemetry = Telemetry()
+    system = BatchSystem(
+        spec.num_nodes,
+        spec.cores_per_node,
+        spec.config,
+        telemetry=telemetry,
+        trace_maxlen=spec.trace_maxlen,
+    )
+    make_random_workload(
+        spec.num_jobs,
+        spec.num_nodes * spec.cores_per_node,
+        evolving_share=spec.evolving_share,
+        mean_interarrival=spec.mean_interarrival,
+        seed=spec.seed,
+    ).submit_to(system)
+    system.run(max_events=5_000_000)
+    m = system.metrics()
+    return {
+        "seed": spec.seed,
+        "completed": m.completed_jobs,
+        "satisfied": m.satisfied_dyn_jobs,
+        "util_pct": 100.0 * m.utilization,
+        "mean_wait": m.mean_wait,
+        "trace_events": len(system.trace),
+        "trace_dropped": system.trace.dropped,
+    }
+
+
+# ----------------------------------------------------------------------
+# scaling bench
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScalingRunSpec:
+    """One machine size of the ESP scaling bench (Dyn-HP configuration)."""
+
+    nodes: int
+    cores_per_node: int = 8
+    seed: int = 2014
+
+
+def run_scaling_row(spec: ScalingRunSpec) -> dict:
+    """Simulate the dynamic ESP workload at one machine scale."""
+    from repro.maui.config import MauiConfig
+    from repro.system import BatchSystem
+    from repro.workloads.esp import make_esp_workload
+
+    system = BatchSystem(
+        spec.nodes,
+        spec.cores_per_node,
+        MauiConfig(reservation_depth=5, reservation_delay_depth=5),
+    )
+    make_esp_workload(
+        spec.nodes * spec.cores_per_node, dynamic=True, seed=spec.seed
+    ).submit_to(system)
+    system.run(max_events=5_000_000)
+    m = system.metrics()
+    return {
+        "nodes": spec.nodes,
+        "completed": m.completed_jobs,
+        "satisfied": m.satisfied_dyn_jobs,
+        "util_pct": 100.0 * m.utilization,
+        "workload_time": m.workload_time,
+        "time_min": m.workload_time_minutes,
+        "iterations": system.scheduler.stats["iterations"],
+    }

@@ -79,7 +79,7 @@ def run_esp_configuration(
     )
     workload.submit_to(system)
     system.run(max_events=5_000_000)
-    if system.server.queue or any(j.is_active for j in system.server.jobs.values()):
+    if system.server.queue or system.server.active_count:
         raise RuntimeError(
             f"{configuration.name}: workload did not drain "
             f"({len(system.server.queue)} queued)"

@@ -45,7 +45,11 @@ class SweepResult:
 
 
 def run_seed_sweep(
-    seeds: list[int] | None = None, *, trace_maxlen: int | None = None
+    seeds: list[int] | None = None,
+    *,
+    trace_maxlen: int | None = None,
+    workers: int = 1,
+    telemetry=None,
 ) -> SweepResult:
     """All four configurations over the given seeds (default: 8 seeds).
 
@@ -53,35 +57,29 @@ def run_seed_sweep(
     events (default: unbounded, the historical behaviour); bounded runs get
     a per-run telemetry facade so utilization stays exact via the live
     busy-core integral instead of trace replay.
+
+    ``workers`` fans the (configuration, seed) grid out over worker
+    processes through :func:`repro.exec.map_specs`; results come back in
+    grid order, so the :class:`SweepResult` is bit-identical to a serial
+    run.  ``telemetry`` (parent-side) surfaces sweep progress/ETA gauges.
     """
+    from repro.exec import map_specs
+    from repro.exec.specs import SweepRunSpec, run_sweep_row
+
     if seeds is None:
         seeds = [1, 2, 3, 7, 42, 99, 1234, 2014]
+    configurations = all_configurations()
+    specs = [
+        SweepRunSpec(configuration.name, seed, trace_maxlen)
+        for configuration in configurations
+        for seed in seeds
+    ]
+    rows = map_specs(
+        run_sweep_row, specs, workers=workers, telemetry=telemetry, label="sweep"
+    )
     result = SweepResult(seeds=list(seeds))
-    for configuration in all_configurations():
-        rows: list[dict] = []
-        for seed in seeds:
-            telemetry = None
-            if trace_maxlen is not None:
-                from repro.obs import Telemetry
-
-                telemetry = Telemetry(sample_interval=None)
-            run = run_esp_configuration(
-                configuration,
-                seed=seed,
-                telemetry=telemetry,
-                trace_maxlen=trace_maxlen,
-            )
-            m = run.metrics
-            rows.append(
-                {
-                    "time_min": m.workload_time_minutes,
-                    "satisfied": m.satisfied_dyn_jobs,
-                    "util_pct": 100.0 * m.utilization,
-                    "throughput": m.throughput_jobs_per_minute,
-                    "mean_wait": m.mean_wait,
-                }
-            )
-        result.samples[configuration.name] = rows
+    for i, configuration in enumerate(configurations):
+        result.samples[configuration.name] = rows[i * len(seeds) : (i + 1) * len(seeds)]
     return result
 
 

@@ -93,7 +93,15 @@ class MauiScheduler:
             "jobs_molded": 0,
             "total_delay_charged": 0.0,
             "dyn_handle_seconds": 0.0,  # wall-clock cost of the dynamic path
+            "profile_builds": 0,
+            "profile_cache_hits": 0,
         }
+        #: availability-profile cache: one profile per partition view, valid
+        #: for a single (server state, cluster state, sim time) snapshot.
+        #: Disable to benchmark the uncached hot path.
+        self.profile_cache_enabled = True
+        self._profile_cache: dict[tuple[str, ...] | None, AvailabilityProfile] = {}
+        self._profile_state: tuple[int, int, float] | None = None
         #: pending wake at the next reservation boundary (Maui wake-up
         #: condition (ii)); rescheduled every iteration
         self._boundary_wake = None
@@ -110,8 +118,7 @@ class MauiScheduler:
                 "dyn_queue_depth", lambda: len(server.dyn_queue)
             )
             self.telemetry.add_source(
-                "running_jobs",
-                lambda: sum(1 for j in server.jobs.values() if j.is_active),
+                "running_jobs", lambda: server.active_count
             )
             self.telemetry.add_source(
                 "dfs_ledger_delay",
@@ -153,6 +160,33 @@ class MauiScheduler:
     # profile construction
     # ------------------------------------------------------------------
     def _build_profile(
+        self, partitions: tuple[str, ...] | None
+    ) -> AvailabilityProfile:
+        """Current + future availability over the given partitions (cached).
+
+        Profiles are pure functions of (server state, cluster allocation
+        state, simulation time); both state counters are monotone, so a
+        three-way snapshot comparison detects staleness in O(1).  A cache
+        hit hands out a :meth:`~AvailabilityProfile.copy` because every
+        caller mutates its working profile with hypothetical claims.
+        """
+        if not self.profile_cache_enabled:
+            self.stats["profile_builds"] += 1
+            return self._build_profile_uncached(partitions)
+        state = (self.server.state_version, self.cluster.version, self.engine.now)
+        if state != self._profile_state:
+            self._profile_state = state
+            self._profile_cache.clear()
+        cached = self._profile_cache.get(partitions)
+        if cached is not None:
+            self.stats["profile_cache_hits"] += 1
+            return cached.copy()
+        self.stats["profile_builds"] += 1
+        profile = self._build_profile_uncached(partitions)
+        self._profile_cache[partitions] = profile
+        return profile.copy()
+
+    def _build_profile_uncached(
         self, partitions: tuple[str, ...] | None
     ) -> AvailabilityProfile:
         """Current + future availability over the given partitions.
@@ -314,7 +348,15 @@ class MauiScheduler:
         """
         last = self._last_stats_time
         if now > last:
-            for job in self.server.jobs.values():
+            # Only running jobs plus those that finished since the previous
+            # accrual window can overlap [last, now] — O(active) instead of
+            # O(all jobs ever submitted).  Sorting by submission order keeps
+            # the per-user floating-point sums bit-identical to the historic
+            # full scan (which walked the submission-ordered job dict).
+            chargeable = self.server.active_jobs()
+            chargeable += self.server.drain_finished_for_stats()
+            chargeable.sort(key=lambda j: j.seq)
+            for job in chargeable:
                 if job.start_time is None or job.allocation is None:
                     continue
                 seg_start = max(last, job.start_time)

@@ -92,7 +92,7 @@ class ServerInstruments:
     def update_depths(self, server) -> None:
         self.queue_depth.set(len(server.queue))
         self.dyn_queue_depth.set(len(server.dyn_queue))
-        self.running_jobs.set(sum(1 for j in server.jobs.values() if j.is_active))
+        self.running_jobs.set(server.active_count)
 
 
 class SchedulerInstruments:

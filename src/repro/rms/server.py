@@ -73,6 +73,18 @@ class Server:
         #: FIFO of unresolved dynamic requests (paper: prioritised FIFO).
         self.dyn_queue: list[DynRequest] = []
         self.jobs: dict[str, Job] = {}
+        #: jobs currently holding resources — the scheduler's working set.
+        #: ``jobs`` grows without bound over a run; every hot-path consumer
+        #: (statistics accrual, profile construction, preemption planning)
+        #: reads this index instead of scanning history.
+        self._active_jobs: dict[str, Job] = {}
+        #: jobs that finished since the scheduler last accrued usage; the
+        #: statistics update drains this so final run segments are charged
+        #: exactly once without re-scanning all finished jobs
+        self._finished_unaccounted: list[Job] = []
+        #: monotone counter bumped on every state change; the scheduler's
+        #: availability-profile cache keys its validity on it
+        self.state_version: int = 0
         self._apps: dict[str, Application | None] = {}
         self._contexts: dict[str, TMContext] = {}
         self._walltime_limits: dict[str, EventHandle] = {}
@@ -82,14 +94,33 @@ class Server:
 
     # ------------------------------------------------------------------
     def _notify(self) -> None:
+        self.state_version += 1
         if self.on_state_change is not None:
             self.on_state_change()
 
     def active_jobs(self) -> list[Job]:
         """Jobs currently holding resources, in start order."""
-        active = [j for j in self.jobs.values() if j.is_active]
+        active = list(self._active_jobs.values())
         active.sort(key=lambda j: (j.start_time, j.seq))
         return active
+
+    @property
+    def active_count(self) -> int:
+        """Number of jobs currently holding resources (O(1))."""
+        return len(self._active_jobs)
+
+    def drain_finished_for_stats(self) -> list[Job]:
+        """Jobs finished since the last drain, in completion order.
+
+        Owned by the scheduler's statistics update: each finished job must
+        have its final ``[last stats time, end_time]`` segment charged once.
+        Preempted jobs are deliberately *not* listed — their ``start_time``
+        is reset on preemption, matching the historical accounting rule
+        that a preempted segment accrues no fairshare usage.
+        """
+        drained = self._finished_unaccounted
+        self._finished_unaccounted = []
+        return drained
 
     def dependency_satisfied(self, job: Job) -> bool:
         """Is this job's dependency (if any) fulfilled?
@@ -169,6 +200,7 @@ class Server:
         job.start_time = self.engine.now
         job.allocation = allocation
         job.backfilled = backfilled
+        self._active_jobs[job.job_id] = job
         ms = self.moms.join(job, allocation)
         self.trace.record(
             self.engine.now,
@@ -249,6 +281,8 @@ class Server:
         self.cluster.release(job.allocation)
         job.state = state
         job.end_time = self.engine.now
+        self._active_jobs.pop(job.job_id, None)
+        self._finished_unaccounted.append(job)
         self.trace.record(
             self.engine.now,
             kind,
@@ -561,6 +595,8 @@ class Server:
         ctx._cancel_all_timers()
         stub.state = JobState.COMPLETED
         stub.end_time = self.engine.now
+        self._active_jobs.pop(stub.job_id, None)
+        self._finished_unaccounted.append(stub)
         stub.allocation = None
         parent.allocation = parent.allocation + transferred
         parent.dyn_granted += 1
@@ -676,6 +712,10 @@ class Server:
             user=job.user,
             cores=released.total_cores,
         )
+        # not added to the finished-for-stats drain: preemption resets
+        # start_time, and the accounting rule has always been that the
+        # preempted segment accrues no fairshare usage
+        self._active_jobs.pop(job.job_id, None)
         job.allocation = None
         job.start_time = None
         job.backfilled = False
@@ -692,5 +732,5 @@ class Server:
     def __repr__(self) -> str:
         return (
             f"<Server {len(self.queue)} queued, {len(self.dyn_queue)} dynqueued, "
-            f"{sum(1 for j in self.jobs.values() if j.is_active)} active>"
+            f"{self.active_count} active>"
         )

@@ -8,7 +8,10 @@ Design notes
   sees the freed resources); ``seq`` is a monotone counter guaranteeing
   deterministic FIFO order among equal keys.
 * Callbacks are plain callables.  Cancellation is O(1) via tombstoning the
-  :class:`EventHandle` rather than re-heapifying.
+  :class:`EventHandle` rather than re-heapifying.  Tombstones are purged
+  lazily: once more than half the heap (beyond a small floor) is cancelled
+  entries, the heap is rebuilt without them, so long runs with many
+  cancelled boundary wakes / walltime limits keep a bounded queue.
 * The engine never advances past events scheduled "now": scheduling at the
   current time from within a callback is allowed and runs in the same
   ``run()`` invocation.
@@ -42,7 +45,10 @@ PRIORITY_SCHEDULER = 9
 class EventHandle:
     """Cancellable reference to a scheduled callback."""
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = (
+        "time", "priority", "seq", "callback", "args", "cancelled",
+        "_engine", "_dequeued",
+    )
 
     def __init__(
         self,
@@ -51,6 +57,7 @@ class EventHandle:
         seq: int,
         callback: Callable[..., None],
         args: tuple[Any, ...],
+        engine: "Engine | None" = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -58,10 +65,18 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._engine = engine
+        #: True once the engine removed this entry from its heap (fired or
+        #: discarded) — a later cancel() must not count as a live tombstone
+        self._dequeued = False
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None and not self._dequeued:
+            self._engine._note_cancel()
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
@@ -72,12 +87,20 @@ class EventHandle:
 class Engine:
     """Deterministic event loop with a floating-point clock (seconds)."""
 
+    #: tombstone purges only kick in past this heap size: tiny heaps are
+    #: cheap to carry and compacting them would just add churn
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self.now: float = float(start_time)
         self._heap: list[tuple[float, int, int, EventHandle]] = []
         self._seq: int = 0
         self._running: bool = False
         self._processed: int = 0
+        #: cancelled entries still sitting in the heap
+        self._tombstones: int = 0
+        #: cumulative compaction count (introspection for tests/benchmarks)
+        self._compactions: int = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -98,10 +121,38 @@ class Engine:
             raise ValueError(
                 f"cannot schedule event at t={time} before current time t={self.now}"
             )
-        handle = EventHandle(time, priority, self._seq, callback, args)
+        handle = EventHandle(time, priority, self._seq, callback, args, self)
         heapq.heappush(self._heap, (time, priority, self._seq, handle))
         self._seq += 1
         return handle
+
+    # ------------------------------------------------------------------
+    # tombstone bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """A queued entry was cancelled; purge when tombstones dominate."""
+        self._tombstones += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._tombstones * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (O(n))."""
+        for *_k, handle in self._heap:
+            if handle.cancelled:
+                handle._dequeued = True
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+        self._compactions += 1
+
+    def _discard_top(self) -> None:
+        """Pop a cancelled entry off the heap top and account for it."""
+        _, _, _, handle = heapq.heappop(self._heap)
+        handle._dequeued = True
+        self._tombstones -= 1
 
     def after(
         self,
@@ -121,9 +172,11 @@ class Engine:
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the queue is empty."""
         while self._heap:
-            time, _prio, _seq, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
+            if self._heap[0][3].cancelled:
+                self._discard_top()
                 continue
+            time, _prio, _seq, handle = heapq.heappop(self._heap)
+            handle._dequeued = True
             self.now = time
             self._processed += 1
             handle.callback(*handle.args)
@@ -147,11 +200,12 @@ class Engine:
             while self._heap:
                 time, _prio, _seq, handle = self._heap[0]
                 if handle.cancelled:
-                    heapq.heappop(self._heap)
+                    self._discard_top()
                     continue
                 if until is not None and time > until:
                     break
                 heapq.heappop(self._heap)
+                handle._dequeued = True
                 self.now = time
                 self._processed += 1
                 processed += 1
@@ -171,20 +225,24 @@ class Engine:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for *_k, h in self._heap if not h.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return len(self._heap) - self._tombstones
 
     @property
     def processed(self) -> int:
         """Total number of events executed since construction."""
         return self._processed
 
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, tombstones included (tests/benchmarks)."""
+        return len(self._heap)
+
     def peek_time(self) -> float | None:
         """Timestamp of the next pending event, or None if idle."""
-        for time, _prio, _seq, handle in sorted(self._heap)[:]:
-            if not handle.cancelled:
-                return time
-        return None
+        while self._heap and self._heap[0][3].cancelled:
+            self._discard_top()
+        return self._heap[0][0] if self._heap else None
 
     def __repr__(self) -> str:
         return f"<Engine t={self.now:.2f} pending={self.pending}>"

@@ -103,6 +103,8 @@ def run_random_campaign(
     trace_maxlen: int | None = DEFAULT_CAMPAIGN_TRACE_MAXLEN,
     evolving_share: float = 0.3,
     mean_interarrival: float = 60.0,
+    workers: int = 1,
+    telemetry=None,
 ) -> list[dict]:
     """Run the random workload over several seeds with bounded telemetry.
 
@@ -111,46 +113,33 @@ def run_random_campaign(
     Returns one summary dict per seed — utilization comes from the live
     busy-core integral, so it is exact even after the ring has dropped the
     start of the run.
+
+    ``workers`` fans the seeds out over worker processes (serial and
+    parallel runs share one worker function, so the rows are identical);
+    ``telemetry`` is the *parent-side* facade for campaign progress gauges,
+    distinct from the per-seed facades created inside each run.
     """
-    # imported here: repro.system imports the workload machinery at package
-    # import time, so a module-level import would be circular
-    from repro.obs import Telemetry
-    from repro.system import BatchSystem
+    from repro.exec import map_specs
+    from repro.exec.specs import CampaignRunSpec, run_campaign_row
 
     if seeds is None:
         seeds = [0, 1, 2]
-    total_cores = num_nodes * cores_per_node
-    rows: list[dict] = []
-    for seed in seeds:
-        telemetry = Telemetry()
-        system = BatchSystem(
+    specs = [
+        CampaignRunSpec(
+            num_jobs,
+            seed,
             num_nodes,
             cores_per_node,
             config,
-            telemetry=telemetry,
-            trace_maxlen=trace_maxlen,
+            trace_maxlen,
+            evolving_share,
+            mean_interarrival,
         )
-        make_random_workload(
-            num_jobs,
-            total_cores,
-            evolving_share=evolving_share,
-            mean_interarrival=mean_interarrival,
-            seed=seed,
-        ).submit_to(system)
-        system.run(max_events=5_000_000)
-        m = system.metrics()
-        rows.append(
-            {
-                "seed": seed,
-                "completed": m.completed_jobs,
-                "satisfied": m.satisfied_dyn_jobs,
-                "util_pct": 100.0 * m.utilization,
-                "mean_wait": m.mean_wait,
-                "trace_events": len(system.trace),
-                "trace_dropped": system.trace.dropped,
-            }
-        )
-    return rows
+        for seed in seeds
+    ]
+    return map_specs(
+        run_campaign_row, specs, workers=workers, telemetry=telemetry, label="campaign"
+    )
 
 
 def make_diurnal_workload(

@@ -68,3 +68,44 @@ class TestMain:
         assert main(["gantt"]) == 0
         out = capsys.readouterr().out
         assert "node000" in out
+
+
+class TestJobsFlag:
+    def test_default_is_serial(self):
+        assert build_parser().parse_args(["sweep"]).jobs is None
+
+    def test_explicit_worker_count(self):
+        assert build_parser().parse_args(["sweep", "-j", "4"]).jobs == 4
+        assert build_parser().parse_args(["table2", "--jobs", "2"]).jobs == 2
+
+    def test_zero_means_all_cpus(self):
+        import os
+
+        from repro.exec import resolve_workers
+
+        args = build_parser().parse_args(["campaign", "-j", "0"])
+        assert args.jobs == 0
+        assert resolve_workers(args.jobs) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "-j", "-1"])
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "-j", "two"])
+
+    def test_campaign_command_listed(self):
+        args = build_parser().parse_args(["campaign", "--num-jobs", "50"])
+        assert args.artifact == "campaign"
+        assert args.num_jobs == 50
+
+    def test_campaign_num_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--num-jobs", "0"])
+
+    def test_campaign_prints(self, capsys):
+        assert main(["campaign", "--num-jobs", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Random mixed-workload campaign" in out
+        assert "Satisfied" in out

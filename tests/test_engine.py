@@ -186,3 +186,55 @@ def test_property_priority_respected_within_timestamp(events):
         engine.at(t, lambda t=t, p=prio: fired.append((t, p)), priority=prio)
     engine.run()
     assert fired == sorted(fired, key=lambda x: (x[0], x[1]))
+
+
+class TestTombstoneCompaction:
+    """Cancelled entries must not grow the heap without bound."""
+
+    def test_heap_bounded_under_schedule_cancel_cycles(self):
+        engine = Engine()
+        live = [engine.at(1e9 + i, lambda: None) for i in range(32)]
+        for i in range(10_000):
+            live.pop(0).cancel()
+            live.append(engine.at(2e9 + i, lambda: None))
+        assert engine.pending == 32
+        assert engine.heap_size < 4 * 32  # bounded, not 10k tombstones
+        assert engine._compactions > 0
+
+    def test_compaction_preserves_order_and_events(self):
+        engine = Engine()
+        fired = []
+        keep = [engine.at(float(i), fired.append, i) for i in range(0, 200, 2)]
+        drop = [engine.at(float(i), fired.append, i) for i in range(1, 200, 2)]
+        for handle in drop:
+            handle.cancel()
+        engine.run()
+        assert fired == list(range(0, 200, 2))
+        assert engine.pending == 0
+
+    def test_cancel_after_fire_is_not_a_tombstone(self):
+        engine = Engine()
+        handle = engine.at(1.0, lambda: None)
+        engine.run()
+        handle.cancel()
+        assert engine._tombstones == 0
+        assert engine.heap_size == 0
+
+    def test_double_cancel_counts_once(self):
+        engine = Engine()
+        handle = engine.at(1.0, lambda: None)
+        engine.at(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine._tombstones == 1
+        assert engine.pending == 1
+
+    def test_pending_is_consistent_during_churn(self):
+        engine = Engine()
+        handles = [engine.at(10.0 + i, lambda: None) for i in range(100)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert engine.pending == 50
+        engine.run()
+        assert engine.pending == 0
+        assert engine.processed == 50
