@@ -6,7 +6,7 @@ the rendered artifact here; the terminal summary prints them all, so
 the timings and the reproduced results.
 
 Benchmarks additionally record machine-readable numbers via
-:func:`record_bench`; at session end they are written to ``BENCH_PR2.json``
+:func:`record_bench`; at session end they are written to ``BENCH_PR3.json``
 at the repo root (see ``docs/PERFORMANCE.md`` for how to read it).  The
 snapshot always carries ``cpu_count`` — wall-clock comparisons (serial vs
 parallel campaigns in particular) are meaningless without it.
@@ -23,7 +23,21 @@ _REPORTS: list[tuple[str, str]] = []
 _BENCH: dict[str, dict[str, dict]] = {}
 
 #: repo-root snapshot file for this PR's performance numbers
-BENCH_SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+BENCH_SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports installed CPUs, but CI runners and cgroup
+    containers routinely pin the process to a subset; the scheduling
+    affinity mask is what bounds parallel speedup.  Falls back to
+    ``os.cpu_count()`` on platforms without ``sched_getaffinity``.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
 
 
 def register_report(title: str, text: str) -> None:
@@ -33,7 +47,7 @@ def register_report(title: str, text: str) -> None:
 
 
 def record_bench(group: str, name: str, **values) -> None:
-    """Record one benchmark measurement for the ``BENCH_PR2.json`` snapshot.
+    """Record one benchmark measurement for the ``BENCH_PR3.json`` snapshot.
 
     ``group``/``name`` mirror the pytest-benchmark group and test; ``values``
     are plain JSON-serialisable numbers (seconds, counts, ratios).  Repeat
@@ -49,7 +63,8 @@ def pytest_sessionfinish(session, exitstatus):
         "schema": "repro-bench/1",
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": usable_cpu_count(),
+        "cpu_count_installed": os.cpu_count(),
         "groups": _BENCH,
     }
     BENCH_SNAPSHOT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -2,17 +2,18 @@
 
 Runs a reduced seed sweep (one configuration slice of the grid per seed)
 both in-process and through a 2-worker process pool, recording honest wall
-clocks into ``BENCH_PR2.json``.  There is deliberately no speedup
+clocks into ``BENCH_PR3.json``.  There is deliberately no speedup
 assertion: on a single-CPU container the pool *cannot* win (it pays fork +
 pickle overhead for zero extra parallelism), and the snapshot's
-``cpu_count`` field is what makes the two numbers comparable across
-machines.  Determinism — the part that must hold everywhere — is asserted
-here and, exhaustively, in ``tests/test_exec_determinism.py``.
+``cpu_count`` field — the affinity-mask count, not the installed count —
+is what makes the two numbers comparable across machines.  Determinism —
+the part that must hold everywhere — is asserted here and, exhaustively,
+in ``tests/test_exec_determinism.py``.
 """
 
 import pytest
 
-from benchmarks.conftest import record_bench
+from benchmarks.conftest import record_bench, usable_cpu_count
 from repro.experiments.sweep import run_seed_sweep
 
 SEEDS = [1, 2014]
@@ -28,9 +29,18 @@ def test_sweep_wall_clock(benchmark, workers):
     )
     assert sorted(result.samples) == ["Dyn-500", "Dyn-600", "Dyn-HP", "Static"]
     assert all(len(rows) == len(SEEDS) for rows in result.samples.values())
-    record_bench(
-        "exec", f"seed_sweep_workers_{workers}",
+    usable = usable_cpu_count()
+    values = dict(
         wall_seconds=benchmark.stats.stats.mean,
         runs=4 * len(SEEDS),
         workers=workers,
+        usable_cpus=usable,
     )
+    if workers > usable:
+        # make the snapshot self-explanatory: this row measured pool
+        # overhead, not parallel speedup
+        values["note"] = (
+            f"only {usable} usable CPU(s): {workers} workers cannot "
+            "run concurrently, wall clock includes fork+pickle overhead"
+        )
+    record_bench("exec", f"seed_sweep_workers_{workers}", **values)

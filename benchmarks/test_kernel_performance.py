@@ -5,8 +5,9 @@ everything else sits on (the "measure before optimising" discipline): event
 throughput of the engine (with and without cancellation churn),
 availability-profile queries at realistic breakpoint counts, and the
 full-iteration cost of the scheduler on a deep queue with the profile
-cache on and off.  Each test records its headline number into
-``BENCH_PR2.json`` via :func:`benchmarks.conftest.record_bench`.
+cache on and off, and the event-driven activation's skip rate on a
+timer-driven system.  Each test records its headline number into
+``BENCH_PR3.json`` via :func:`benchmarks.conftest.record_bench`.
 """
 
 import pytest
@@ -143,6 +144,39 @@ def test_scheduler_iteration_deep_queue(benchmark, cache):
         f"scheduler_iteration_deep_queue_{'cache_on' if cache else 'cache_off'}",
         wall_seconds=benchmark.stats.stats.mean,
         queued_jobs=60,
+    )
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_scheduler_iterations_skipped(benchmark):
+    """Timer-driven run: quiescent wake-ups skipped by event-driven activation.
+
+    A 1-second timer on a workload whose state changes every ~500s is the
+    worst case the skip logic was built for: nearly every tick finds the
+    fingerprint unchanged and must cost O(1) instead of a full planning
+    pass.  Records the achieved skip ratio alongside the wall clock.
+    """
+
+    def run_timer_system():
+        system = BatchSystem(4, 8, MauiConfig(timer_interval=1.0))
+        for i in range(8):
+            system.submit(
+                Job(request=ResourceRequest(cores=8), walltime=600.0, user=f"u{i%3}"),
+                FixedRuntimeApp(500.0 + 10.0 * i),
+            )
+        system.run(until=5_000.0)
+        return dict(system.scheduler.stats)
+
+    stats = benchmark(run_timer_system)
+    assert stats["iterations_skipped"] > 0
+    assert stats["iterations"] + stats["iterations_skipped"] >= 5_000
+    record_bench(
+        "kernel", "scheduler_iterations_skipped",
+        wall_seconds=benchmark.stats.stats.mean,
+        iterations=stats["iterations"],
+        iterations_skipped=stats["iterations_skipped"],
+        skip_ratio=stats["iterations_skipped"]
+        / (stats["iterations"] + stats["iterations_skipped"]),
     )
 
 

@@ -4,15 +4,28 @@ An :class:`AvailabilityProfile` answers "when, at the earliest, can a request
 for X cores run for D seconds?" — the primitive underneath Maui-style
 reservations, backfill, and this paper's delay measurement (Algorithm 2).
 
-Representation: a sorted list of breakpoint times and, for each interval
-between consecutive breakpoints, a vector of free cores per node (the last
-interval extends to +infinity).  Free cores change only at breakpoints, so
-the earliest feasible start of any request is always at a breakpoint (or at
-the query's ``after`` bound): shifting a feasible window left within an
-interval only relaxes constraints.
+Representation: a sorted list of breakpoint times and one contiguous 2-D
+``int64`` matrix of shape ``(breakpoints, nodes)`` holding the free cores of
+every interval between consecutive breakpoints (the last interval extends to
++infinity).  Free cores change only at breakpoints, so the earliest feasible
+start of any request is always at a breakpoint (or at the query's ``after``
+bound): shifting a feasible window left within an interval only relaxes
+constraints.
 
-With tens of nodes and a few hundred jobs this stays tiny; all vector math
-is NumPy element-wise operations.
+The matrix layout is what makes the kernel fast:
+
+* ``add_claim``/``add_release`` are single vectorized slice operations —
+  validity is checked against the *would-be* values before anything is
+  written, so failures are atomic without rollback loops;
+* ``earliest_fit`` answers **all** candidate starts in one pass: a sparse
+  table of power-of-two span minima over the breakpoint axis (log₂ B
+  vectorized ``np.minimum`` calls) yields every candidate's sliding-window
+  minimum at once, replacing the historic per-candidate
+  ``bisect`` + ``np.minimum.reduce`` scan (O(B²·nodes) per query).
+
+``tests/test_profile_equivalence.py`` pins this kernel byte-for-byte to the
+retained reference implementation in
+:mod:`repro.cluster.reference_profile`.
 """
 
 from __future__ import annotations
@@ -26,6 +39,10 @@ import numpy as np
 from repro.cluster.allocation import Allocation, ResourceRequest
 
 __all__ = ["AvailabilityProfile", "NoFitError"]
+
+#: spare matrix rows allocated beyond the current breakpoint count, so the
+#: first few claims on a fresh copy insert without reallocating
+_HEADROOM = 8
 
 
 class NoFitError(Exception):
@@ -56,7 +73,15 @@ class AvailabilityProfile:
         if (free0 < 0).any():
             raise ValueError("negative initial free cores")
         self._times: list[float] = [self.now]
-        self._free: list[np.ndarray] = [free0]
+        # row i of the matrix is the free-core vector of interval
+        # [times[i], times[i+1]); rows beyond len(_times) are spare capacity
+        self._mat = np.empty((1 + _HEADROOM, len(self._nodes)), dtype=np.int64)
+        self._mat[0] = free0
+        # node index -> matrix column, vectorized: column j holds node
+        # _sorted_nodes[j]'s position _sorted_cols[j]
+        sorted_order = np.argsort(np.array(self._nodes, dtype=np.int64), kind="stable")
+        self._sorted_nodes = np.array(self._nodes, dtype=np.int64)[sorted_order]
+        self._sorted_cols = sorted_order
         if capacity is not None:
             self._capacity = np.array(
                 [capacity.get(i, 0) for i in self._nodes], dtype=np.int64
@@ -68,23 +93,31 @@ class AvailabilityProfile:
     # construction helpers
     # ------------------------------------------------------------------
     def copy(self) -> "AvailabilityProfile":
-        """Deep copy for hypothetical what-if scheduling."""
+        """Deep copy for hypothetical what-if scheduling (one memcpy)."""
         clone = object.__new__(AvailabilityProfile)
         clone._nodes = self._nodes
         clone._pos = self._pos
         clone.now = self.now
         clone._times = list(self._times)
-        clone._free = [vec.copy() for vec in self._free]
+        n = len(self._times)
+        clone._mat = np.empty((n + _HEADROOM, len(self._nodes)), dtype=np.int64)
+        clone._mat[:n] = self._mat[:n]
+        clone._sorted_nodes = self._sorted_nodes
+        clone._sorted_cols = self._sorted_cols
         clone._capacity = self._capacity
         return clone
 
     def _vector(self, allocation: Allocation) -> np.ndarray:
         vec = np.zeros(len(self._nodes), dtype=np.int64)
-        for idx, count in allocation.items():
-            pos = self._pos.get(idx)
-            if pos is None:
-                raise ValueError(f"node {idx} not part of this profile")
-            vec[pos] = count
+        nodes, counts = allocation.arrays()
+        if nodes.size:
+            idx = np.searchsorted(self._sorted_nodes, nodes)
+            oob = idx >= self._sorted_nodes.size
+            missing = oob | (self._sorted_nodes[np.where(oob, 0, idx)] != nodes)
+            if missing.any():
+                unknown = int(nodes[int(np.argmax(missing))])
+                raise ValueError(f"node {unknown} not part of this profile")
+            vec[self._sorted_cols[idx]] = counts
         return vec
 
     def _ensure_breakpoint(self, time: float) -> int:
@@ -94,30 +127,41 @@ class AvailabilityProfile:
         i = bisect.bisect_right(self._times, time) - 1
         if self._times[i] == time:
             return i
+        n = len(self._times)
+        if n == self._mat.shape[0]:
+            grown = np.empty((2 * n, len(self._nodes)), dtype=np.int64)
+            grown[:n] = self._mat[:n]
+            self._mat = grown
+        # shift rows i+1..n-1 up by one and duplicate row i into the gap
+        self._mat[i + 2 : n + 1] = self._mat[i + 1 : n]
+        self._mat[i + 1] = self._mat[i]
         self._times.insert(i + 1, time)
-        self._free.insert(i + 1, self._free[i].copy())
         return i + 1
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def add_release(self, time: float, allocation: Allocation) -> None:
-        """Cores become free from ``time`` onward (a running job's expected end)."""
+        """Cores become free from ``time`` onward (a running job's expected end).
+
+        Atomic: the capacity check runs against the would-be values, so a
+        rejected release leaves every interval untouched.
+        """
         vec = self._vector(allocation)
         start = self._ensure_breakpoint(max(time, self._times[0]))
-        for i in range(start, len(self._free)):
-            self._free[i] += vec
-        if self._capacity is not None:
-            for i in range(start, len(self._free)):
-                if (self._free[i] > self._capacity).any():
-                    raise ValueError("release exceeds node capacity in profile")
+        block = self._mat[start : len(self._times)]
+        if self._capacity is not None and (block + vec > self._capacity).any():
+            raise ValueError("release exceeds node capacity in profile")
+        block += vec
 
     def add_claim(self, start: float, end: float, allocation: Allocation) -> None:
         """Cores are taken during ``[start, end)`` (a reservation).
 
         Raises ``ValueError`` if the claim would drive any node's free count
         negative — reservations must only be placed where the profile says
-        the resources exist.
+        the resources exist.  The check precedes the subtraction, so a
+        failed claim is a no-op (modulo semantically-neutral breakpoint
+        insertions, as in the historic rollback path).
         """
         if end <= start:
             raise ValueError(f"empty claim interval [{start}, {end})")
@@ -127,16 +171,15 @@ class AvailabilityProfile:
             i1 = len(self._times)
         else:
             i1 = self._ensure_breakpoint(end)
-        for i in range(i0, i1):
-            self._free[i] -= vec
-            if (self._free[i] < 0).any():
-                # roll back for exception safety
-                for j in range(i0, i + 1):
-                    self._free[j] += vec
-                raise ValueError(
-                    f"claim of {allocation!r} oversubscribes profile at "
-                    f"t={self._times[i]}"
-                )
+        block = self._mat[i0:i1]
+        short = (block < vec).any(axis=1)
+        if short.any():
+            first_bad = i0 + int(np.argmax(short))
+            raise ValueError(
+                f"claim of {allocation!r} oversubscribes profile at "
+                f"t={self._times[first_bad]}"
+            )
+        block -= vec
 
     # ------------------------------------------------------------------
     # queries
@@ -150,7 +193,19 @@ class AvailabilityProfile:
         if time < self._times[0]:
             raise ValueError(f"time {time} precedes profile start")
         i = bisect.bisect_right(self._times, time) - 1
-        return {idx: int(self._free[i][pos]) for idx, pos in self._pos.items()}
+        row = self._mat[i]
+        return {idx: int(row[pos]) for idx, pos in self._pos.items()}
+
+    def free_total_at(self, time: float) -> int:
+        """Total free cores across all nodes at the given instant (O(nodes)).
+
+        An upper bound on what any window starting at ``time`` can offer —
+        backfill uses it to discard hopeless candidates without a window scan.
+        """
+        if time < self._times[0]:
+            raise ValueError(f"time {time} precedes profile start")
+        i = bisect.bisect_right(self._times, time) - 1
+        return int(self._mat[i].sum())
 
     def _window_min(self, start: float, duration: float) -> np.ndarray:
         """Element-wise minimum free cores over ``[start, start+duration)``."""
@@ -165,8 +220,49 @@ class AvailabilityProfile:
             # interval i covers [times[i], times[i+1]); the window touches
             # interval i1-1 at most.
             i1 = max(i1, i0 + 1)
-        window = self._free[i0:i1]
-        return np.minimum.reduce(window)
+        return self._mat[i0:i1].min(axis=0)
+
+    def _all_window_mins(self, k0: int, duration: float) -> np.ndarray:
+        """Sliding-window minima for every candidate start ``times[k0:]``.
+
+        Row ``j`` is the element-wise free-core minimum over the window
+        ``[times[k0+j], times[k0+j] + duration)`` — exactly what
+        :meth:`_window_min` computes per candidate, but for all candidates
+        at once.  Window lengths vary per candidate, so fixed-window prefix
+        minima do not apply; instead a sparse table of power-of-two span
+        minima over the breakpoint axis (log₂ B levels, each one vectorized
+        ``np.minimum``) answers each window as the overlap of two spans.
+        """
+        n = len(self._times)
+        mat = self._mat[:n]
+        ks = np.arange(k0, n)
+        if math.isinf(duration):
+            ends = np.full(n - k0, n, dtype=np.intp)
+        else:
+            times_arr = np.array(self._times)
+            ends = np.searchsorted(times_arr, times_arr[k0:] + duration, side="left")
+            ends = np.maximum(ends, ks + 1)
+        lengths = ends - ks
+        levels = max(1, int(lengths.max()).bit_length())
+        table = np.empty((levels, n, mat.shape[1]), dtype=np.int64)
+        table[0] = mat
+        for p in range(1, levels):
+            span = 1 << (p - 1)
+            np.minimum(
+                table[p - 1, : n - span], table[p - 1, span:], out=table[p, : n - span]
+            )
+            table[p, n - span :] = table[p - 1, n - span :]
+        # floor(log2(length)) via frexp: length = m * 2^e with m in [0.5, 1)
+        p = np.frexp(lengths.astype(np.float64))[1].astype(np.intp) - 1
+        half = np.left_shift(np.intp(1), p)
+        return np.minimum(table[p, ks], table[p, ends - half])
+
+    @staticmethod
+    def _feasible_mask(mins: np.ndarray, request: ResourceRequest) -> np.ndarray:
+        """Candidate rows of ``mins`` on which :meth:`_fit_from_min` succeeds."""
+        if request.is_shaped:
+            return (mins >= request.ppn).sum(axis=1) >= request.nodes
+        return mins.sum(axis=1) >= request.cores
 
     @staticmethod
     def _fit_from_min(free_min: np.ndarray, request: ResourceRequest,
@@ -212,15 +308,28 @@ class AvailabilityProfile:
     ) -> tuple[float, Allocation]:
         """Earliest start ≥ ``after`` at which ``request`` fits for ``duration``.
 
-        Raises :class:`NoFitError` when the request exceeds what the profile
-        can ever offer (checked against the final, steady-state interval).
+        One vectorized pass: the sliding-window minima of every candidate
+        breakpoint are computed at once (:meth:`_all_window_mins`) and the
+        first feasible candidate wins; only that single candidate's concrete
+        allocation is then materialised.  Raises :class:`NoFitError` when
+        the request exceeds what the profile can ever offer.
         """
-        lo = self._times[0] if after is None else max(after, self._times[0])
-        candidates = [lo] + [t for t in self._times if t > lo]
-        for t in candidates:
-            alloc = self.fits_at(t, duration, request)
-            if alloc is not None:
-                return t, alloc
+        times = self._times
+        lo = times[0] if after is None else max(after, times[0])
+        # the query bound itself is the one candidate that need not be a
+        # breakpoint; probe it with a plain window query first
+        alloc = self.fits_at(lo, duration, request)
+        if alloc is not None:
+            return lo, alloc
+        k0 = bisect.bisect_right(times, lo)
+        if k0 < len(times):
+            mins = self._all_window_mins(k0, duration)
+            feasible = self._feasible_mask(mins, request)
+            if feasible.any():
+                j = int(np.argmax(feasible))
+                alloc = self._fit_from_min(mins[j], request, self._nodes)
+                assert alloc is not None
+                return times[k0 + j], alloc
         raise NoFitError(f"{request} never fits (cluster too small or fragmented)")
 
     def __repr__(self) -> str:

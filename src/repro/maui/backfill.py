@@ -29,10 +29,17 @@ def select_backfill(
     any protected reservation.
     """
     chosen: list[PlannedJob] = []
+    free_now = profile.free_total_at(now)
     for job in candidates:
+        # necessary condition, O(nodes): a window starting now can never
+        # offer more cores than are free at this instant, so hopeless
+        # candidates are discarded without scanning their whole window
+        if job.request.total_cores > free_now:
+            continue
         alloc = profile.fits_at(now, job.walltime, job.request)
         if alloc is None:
             continue
         profile.add_claim(now, now + job.walltime, alloc)
+        free_now -= alloc.total_cores
         chosen.append(PlannedJob(job, now, alloc))
     return chosen

@@ -18,7 +18,7 @@ from repro.cluster.allocation import Allocation
 from repro.cluster.profile import AvailabilityProfile
 from repro.jobs.job import Job
 from repro.maui.fairness import Victim
-from repro.maui.reservations import plan_static
+from repro.maui.reservations import StaticPlan, plan_static
 
 __all__ = ["measure_delays"]
 
@@ -32,6 +32,7 @@ def measure_delays(
     depth: int,
     *,
     claim_start: float | None = None,
+    baseline: StaticPlan | None = None,
 ) -> list[Victim]:
     """Per-victim delays a grant of ``claim`` (held over
     ``[claim_start, claim_end)``, default from ``now``) would cause to the
@@ -40,14 +41,20 @@ def measure_delays(
     Resource grants claim from ``now``; walltime extensions claim a *future*
     window — the job's own cores held past its original walltime end.
 
-    ``profile`` is not mutated.  Jobs planned in the baseline but
-    unschedulable under the hypothesis (cannot happen with finite claims,
-    since every claim ends) would surface as missing keys and are ignored.
+    ``profile`` is not mutated.  ``baseline`` may carry a pre-computed
+    priority pass over the *unclaimed* profile (it must come from
+    ``plan_static(ordered_jobs, profile.copy(), now, depth)`` on exactly
+    these inputs); the scheduler reuses one baseline across every dynamic
+    request resolved under an unchanged state instead of re-planning per
+    request.  Jobs planned in the baseline but unschedulable under the
+    hypothesis (cannot happen with finite claims, since every claim ends)
+    would surface as missing keys and are ignored.
     """
     if not ordered_jobs:
         return []
     start = now if claim_start is None else max(claim_start, now)
-    baseline = plan_static(ordered_jobs, profile.copy(), now, depth)
+    if baseline is None:
+        baseline = plan_static(ordered_jobs, profile.copy(), now, depth)
     hypothetical_profile = profile.copy()
     if claim_end > start:
         hypothetical_profile.add_claim(start, claim_end, claim)

@@ -80,6 +80,12 @@ class StaticPlan:
     #: jobs whose request can never fit the profile (oversized for the
     #: partition in view); they are skipped, never silently dropped
     unschedulable: list[Job] = field(default_factory=list)
+    #: memoised :meth:`starts_by_job` — plans are written once by
+    #: ``plan_static`` and then read many times (a cached baseline plan is
+    #: consulted by every dynamic request of an iteration)
+    _starts: dict[str, float] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def planned(self) -> list[PlannedJob]:
@@ -89,8 +95,12 @@ class StaticPlan:
         return merged
 
     def starts_by_job(self) -> dict[str, float]:
-        """job_id → planned start, for delay comparisons."""
-        return {p.job.job_id: p.start for p in self.start_now + self.start_later}
+        """job_id → planned start, for delay comparisons (cached)."""
+        if self._starts is None:
+            self._starts = {
+                p.job.job_id: p.start for p in self.start_now + self.start_later
+            }
+        return self._starts
 
 
 def plan_static(

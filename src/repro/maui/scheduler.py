@@ -36,6 +36,7 @@ from repro.maui.fairness import DFSLedger
 from repro.maui.partition import find_dynamic_allocation, static_partitions
 from repro.maui.preemption import plan_preemption
 from repro.maui.priority import FairshareTracker, Prioritizer
+from repro.maui.reservations import StaticPlan, plan_static
 from repro.rms.server import Server
 from repro.sim.engine import Engine, PRIORITY_SCHEDULER
 from repro.sim.events import EventKind
@@ -81,6 +82,7 @@ class MauiScheduler:
         #: cumulative counters for reports and tests
         self.stats = {
             "iterations": 0,
+            "iterations_skipped": 0,
             "dyn_granted": 0,
             "dyn_rejected": 0,
             "dyn_rejected_fairness": 0,
@@ -102,6 +104,21 @@ class MauiScheduler:
         self.profile_cache_enabled = True
         self._profile_cache: dict[tuple[str, ...] | None, AvailabilityProfile] = {}
         self._profile_state: tuple[int, int, float] | None = None
+        #: event-driven activation: wake-ups with no state change since the
+        #: last full pass are skipped (statistics still accrue).  Disable to
+        #: restore unconditional iterations (A/B tests, benchmarks).
+        self.iteration_skip_enabled = True
+        #: (server.state_version, cluster.version) at the *start* of the
+        #: last full iteration — the quiescence fingerprint.  A pass that
+        #: changed anything leaves the live counters past this snapshot and
+        #: therefore never arms the skip.
+        self._last_pass_state: tuple[int, int] | None = None
+        #: set by time-anchored wakes (reservation boundaries, maintenance
+        #: window edges) whose whole point is that *time*, not state, changed
+        self._force_iteration = False
+        #: delay-measurement context (profile, eligible ordering, baseline
+        #: plan) shared by every dynamic request handled under one state
+        self._delay_ctx: tuple | None = None
         #: pending wake at the next reservation boundary (Maui wake-up
         #: condition (ii)); rescheduled every iteration
         self._boundary_wake = None
@@ -131,16 +148,24 @@ class MauiScheduler:
         if self.config.timer_interval is not None:
             self.engine.after(self.config.timer_interval, self._timer_tick)
         for reservation in self.config.admin_reservations:
-            # both edges of a maintenance window are scheduling opportunities
+            # both edges of a maintenance window are scheduling opportunities;
+            # nothing else changes at an edge, so the wake must be forced
             for edge in (reservation.start, reservation.end):
                 if edge > engine.now:
-                    self.engine.at(edge, self.request_iteration)
+                    self.engine.at(edge, self._forced_wake)
 
     # ------------------------------------------------------------------
     # wake-up machinery
     # ------------------------------------------------------------------
-    def request_iteration(self) -> None:
-        """Coalesced wake-up: at most one iteration is queued at a time."""
+    def request_iteration(self, force: bool = False) -> None:
+        """Coalesced wake-up: at most one iteration is queued at a time.
+
+        ``force`` marks wake-ups whose trigger is the passage of simulated
+        time itself (reservation boundaries, maintenance-window edges): they
+        must run a full iteration even though no state counter moved.
+        """
+        if force:
+            self._force_iteration = True
         if self._wake_pending:
             return
         self._wake_pending = True
@@ -148,9 +173,55 @@ class MauiScheduler:
             self.engine.now, self._run_iteration, priority=PRIORITY_SCHEDULER
         )
 
+    def _forced_wake(self) -> None:
+        self.request_iteration(force=True)
+
     def _run_iteration(self) -> None:
         self._wake_pending = False
+        force = self._force_iteration
+        self._force_iteration = False
+        if not force and self._quiescent():
+            # Nothing a full pass could act on has changed: same job and
+            # cluster state, no pending dynamic requests.  Statistics still
+            # accrue (so fairshare sums and DFS interval rolls are
+            # bit-identical to unconditional iteration), but profile
+            # construction, prioritisation, planning and backfill are all
+            # skipped — unless an accounting window rolls right now, which
+            # decays usage and can reorder priorities without any version
+            # bump, so the pass is no longer a provable no-op.
+            fairshare_window = self.fairshare.window_start
+            dfs_window = self.dfs.interval_start
+            self._update_statistics(self.engine.now)
+            if (
+                self.fairshare.window_start == fairshare_window
+                and self.dfs.interval_start == dfs_window
+            ):
+                self.stats["iterations_skipped"] += 1
+                if self._obs is not None:
+                    self._obs.note_skip(self.stats["iterations_skipped"])
+                log.debug(
+                    "iteration skipped t=%.1f (state unchanged)", self.engine.now
+                )
+                return
         self.iteration()
+
+    def _quiescent(self) -> bool:
+        """No schedulable change since the last full pass?
+
+        Conservative on purpose: any pending dynamic request (including
+        negotiated requests awaiting fresh availability estimates) forces a
+        full iteration, as does any bump of either monotone version counter.
+        Time-only effects — a planned reservation becoming startable, a
+        maintenance window opening — arrive as *forced* wakes and never
+        reach this check.
+        """
+        return (
+            self.iteration_skip_enabled
+            and self._last_pass_state is not None
+            and not self.server.dyn_queue
+            and self._last_pass_state
+            == (self.server.state_version, self.cluster.version)
+        )
 
     def _timer_tick(self) -> None:
         self.request_iteration()
@@ -237,6 +308,14 @@ class MauiScheduler:
             events_before = self.trace.total_recorded
         now = self.engine.now
         self.stats["iterations"] += 1
+        # fingerprint taken *before* the pass: an iteration that starts,
+        # grants or preempts anything bumps the version counters past this
+        # snapshot, so the echo wake-up it triggers re-runs a full pass
+        # (a fresh start moves where blocked jobs' reservations land, which
+        # can unlock further backfill — the fixpoint semantics of the
+        # original always-iterate loop).  Only a pass that changed nothing
+        # arms the skip, and re-running a provable no-op is safe.
+        self._last_pass_state = (self.server.state_version, self.cluster.version)
         self._update_statistics(now)
 
         if self.server.dyn_queue:
@@ -334,7 +413,7 @@ class MauiScheduler:
 
     def _boundary_fire(self) -> None:
         self._boundary_wake = None
-        self.request_iteration()
+        self.request_iteration(force=True)
 
     def _update_statistics(self, now: float) -> None:
         """Maui iteration step 4: accrue usage, roll accounting windows.
@@ -388,6 +467,35 @@ class MauiScheduler:
                 key=lambda d: (d.request.total_cores, d.submit_time, d.job.seq)
             )
         return pending
+
+    def _delay_context(
+        self, now: float
+    ) -> tuple[AvailabilityProfile, list[Job], set[int], StaticPlan | None]:
+        """Shared inputs for delay measurement, reused while state holds.
+
+        The availability profile, the eligible static ordering, the
+        static-partition node set and — crucially — the *baseline* priority
+        plan are all pure functions of ``(server state, cluster state,
+        now)``.  Consecutive dynamic requests resolved without a grant,
+        preemption or shrink therefore reuse one baseline plan instead of
+        re-planning the queue prefix from a fresh profile copy per request;
+        any mutation bumps a version counter and rebuilds the context.
+        """
+        key = (self.server.state_version, self.cluster.version, now)
+        ctx = self._delay_ctx
+        if ctx is None or ctx[0] != key:
+            partitions = static_partitions(self.config)
+            profile = self._build_profile(partitions)
+            ordered = self._eligible_static(now)
+            profile_nodes = set(self.cluster.free_by_node(partitions=partitions))
+            baseline = (
+                plan_static(ordered, profile.copy(), now, self.config.plan_depth)
+                if ordered
+                else None
+            )
+            ctx = (key, profile, ordered, profile_nodes, baseline)
+            self._delay_ctx = ctx
+        return ctx[1], ctx[2], ctx[3], ctx[4]
 
     def _process_dynamic_requests(self, now: float) -> None:
         obs = self._obs
@@ -446,16 +554,14 @@ class MauiScheduler:
             return
 
         # measure delays against the queue as planned on the static partitions
-        partitions = static_partitions(self.config)
-        profile = self._build_profile(partitions)
-        ordered = self._eligible_static(now)
-        profile_nodes = set(self.cluster.free_by_node(partitions=partitions))
+        profile, ordered, profile_nodes, baseline = self._delay_context(now)
         claim_inside = Allocation(
             {n: c for n, c in alloc.items() if n in profile_nodes}
         )
         victims = (
             measure_delays(
-                ordered, profile, claim_inside, claim_end, now, self.config.plan_depth
+                ordered, profile, claim_inside, claim_end, now,
+                self.config.plan_depth, baseline=baseline,
             )
             if not claim_inside.is_empty
             else []
@@ -521,10 +627,7 @@ class MauiScheduler:
         assert dreq.extend_walltime is not None
         old_end = job.walltime_end
         new_end = old_end + dreq.extend_walltime
-        partitions = static_partitions(self.config)
-        profile = self._build_profile(partitions)
-        ordered = self._eligible_static(now)
-        profile_nodes = set(self.cluster.free_by_node(partitions=partitions))
+        profile, ordered, profile_nodes, baseline = self._delay_context(now)
         claim_inside = Allocation(
             {n: c for n, c in job.allocation.items() if n in profile_nodes}
         )
@@ -537,6 +640,7 @@ class MauiScheduler:
                 now,
                 self.config.plan_depth,
                 claim_start=old_end,
+                baseline=baseline,
             )
             if not claim_inside.is_empty
             else []

@@ -25,6 +25,7 @@ repro_queue_depth                           gauge       rms.server
 repro_dyn_queue_depth                       gauge       rms.server
 repro_running_jobs                          gauge       rms.server
 repro_sched_iterations_total                counter     maui.scheduler
+repro_sched_iterations_skipped_total        counter     maui.scheduler
 repro_sched_backfill_starts_total           counter     maui.scheduler
 repro_sched_preemptions_total               counter     maui.scheduler
 repro_sched_reservations_total              counter     maui.scheduler
@@ -101,6 +102,11 @@ class SchedulerInstruments:
     #: scheduler ``stats`` keys mirrored 1:1 into counters
     _STAT_COUNTERS = (
         ("iterations", "repro_sched_iterations_total", "Scheduling iterations run"),
+        (
+            "iterations_skipped",
+            "repro_sched_iterations_skipped_total",
+            "Scheduler wake-ups skipped (no state change since last pass)",
+        ),
         ("jobs_backfilled", "repro_sched_backfill_starts_total", "Backfill starts"),
         ("preemptions", "repro_sched_preemptions_total", "Scheduler-initiated preemptions"),
         ("reservations_created", "repro_sched_reservations_total", "Reservations created"),
@@ -125,7 +131,17 @@ class SchedulerInstruments:
             "repro_dyn_handle_seconds",
             "Wall-clock cost of servicing one dynamic request (Fig. 12)",
         )
+        # the registry memoises by name: this is the same counter instance
+        # sync_stats mirrors, resolved once for the skip fast path
+        self._skipped = registry.counter(
+            "repro_sched_iterations_skipped_total",
+            "Scheduler wake-ups skipped (no state change since last pass)",
+        )
         self._registry = registry
+
+    def note_skip(self, total_skipped: int) -> None:
+        """Mirror the skip counter from a skipped wake-up (no full sync)."""
+        self._skipped.set_total(total_skipped)
 
     def sync_stats(self, stats: dict) -> None:
         """Mirror the scheduler's cumulative stats into counters."""

@@ -1,0 +1,178 @@
+"""Randomized equivalence oracle: vectorized kernel vs reference profile.
+
+The vectorized matrix kernel in :mod:`repro.cluster.profile` must be
+*byte-identical* to the retained list-of-vectors implementation in
+:mod:`repro.cluster.reference_profile` — same breakpoints, same free
+vectors, same fit decisions, same ``(start, allocation)`` pairs, and the
+same exceptions on the same inputs (including the atomicity of rejected
+mutations).  This suite drives both implementations through thousands of
+randomized interleaved operation sequences and compares them after every
+single step.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.profile import AvailabilityProfile, NoFitError
+from repro.cluster.reference_profile import ReferenceAvailabilityProfile
+
+# 4 x 300 parametrized batches = 1200 randomized operation sequences
+BATCHES = 4
+SEQUENCES_PER_BATCH = 300
+OPS_PER_SEQUENCE = 18
+
+
+def assert_profiles_equal(new: AvailabilityProfile,
+                          ref: ReferenceAvailabilityProfile) -> None:
+    assert new.breakpoints == ref.breakpoints
+    for t in ref.breakpoints:
+        assert new.free_at(t) == ref.free_at(t)
+        assert new.free_total_at(t) == sum(ref.free_at(t).values())
+
+
+def random_request(rng: random.Random, num_nodes: int,
+                   cores_per_node: int) -> ResourceRequest:
+    if rng.random() < 0.4:  # shaped: nodes=N:ppn=P
+        return ResourceRequest(
+            nodes=rng.randint(1, num_nodes + 1),  # +1: sometimes impossible
+            ppn=rng.randint(1, cores_per_node),
+        )
+    return ResourceRequest(cores=rng.randint(1, num_nodes * cores_per_node + 4))
+
+
+def random_allocation(rng: random.Random, nodes: list[int],
+                      cores_per_node: int) -> Allocation:
+    picked = rng.sample(nodes, rng.randint(1, len(nodes)))
+    return Allocation({n: rng.randint(1, cores_per_node) for n in picked})
+
+
+def random_duration(rng: random.Random) -> float:
+    if rng.random() < 0.1:
+        return math.inf
+    return rng.choice([1.0, 7.0, 25.0, 60.0, 240.0])
+
+
+def run_sequence(rng: random.Random) -> None:
+    num_nodes = rng.randint(1, 8)
+    cores_per_node = rng.randint(1, 16)
+    # non-contiguous, shuffled node indices exercise the column mapping
+    nodes = rng.sample(range(100), num_nodes)
+    now = rng.choice([0.0, 5.5, 1000.0])
+    free = {n: rng.randint(0, cores_per_node) for n in nodes}
+    capacity = (
+        {n: cores_per_node for n in nodes} if rng.random() < 0.7 else None
+    )
+    new = AvailabilityProfile(nodes, free, now, capacity)
+    ref = ReferenceAvailabilityProfile(nodes, free, now, capacity)
+    assert_profiles_equal(new, ref)
+
+    horizon = 300.0
+    for _ in range(OPS_PER_SEQUENCE):
+        op = rng.random()
+        if op < 0.30:  # claim (exercises both success and rollback paths)
+            start = now + rng.uniform(0, horizon)
+            end = math.inf if rng.random() < 0.1 else start + random_duration(rng)
+            alloc = random_allocation(rng, nodes, cores_per_node)
+            err_new = err_ref = None
+            try:
+                new.add_claim(start, end, alloc)
+            except ValueError as e:
+                err_new = str(e)
+            try:
+                ref.add_claim(start, end, alloc)
+            except ValueError as e:
+                err_ref = str(e)
+            assert err_new == err_ref
+        elif op < 0.50:  # release (exercises the atomic capacity check)
+            t = now + rng.uniform(0, horizon)
+            alloc = random_allocation(rng, nodes, cores_per_node)
+            err_new = err_ref = None
+            try:
+                new.add_release(t, alloc)
+            except ValueError as e:
+                err_new = str(e)
+            try:
+                ref.add_release(t, alloc)
+            except ValueError as e:
+                err_ref = str(e)
+            assert err_new == err_ref
+        elif op < 0.70:  # fits_at
+            start = now + rng.uniform(0, horizon)
+            duration = random_duration(rng)
+            request = random_request(rng, num_nodes, cores_per_node)
+            assert new.fits_at(start, duration, request) == ref.fits_at(
+                start, duration, request
+            )
+        elif op < 0.90:  # earliest_fit
+            duration = random_duration(rng)
+            request = random_request(rng, num_nodes, cores_per_node)
+            after = (
+                None if rng.random() < 0.3 else now + rng.uniform(0, horizon)
+            )
+            got_new = got_ref = None
+            try:
+                got_new = new.earliest_fit(request, duration, after=after)
+            except NoFitError:
+                pass
+            try:
+                got_ref = ref.earliest_fit(request, duration, after=after)
+            except NoFitError:
+                pass
+            assert got_new == got_ref
+        else:  # copy: keep working on the clones, originals must not move
+            before = (new.breakpoints, {t: new.free_at(t) for t in new.breakpoints})
+            new2, ref2 = new.copy(), ref.copy()
+            alloc = random_allocation(rng, nodes, cores_per_node)
+            t = now + rng.uniform(0, horizon)
+            try:
+                new2.add_release(t, alloc)
+            except ValueError:
+                pass
+            assert new.breakpoints == before[0]
+            assert {t: new.free_at(t) for t in new.breakpoints} == before[1]
+            new, ref = new2, ref2
+            try:
+                ref.add_release(t, alloc)
+            except ValueError:
+                pass
+        assert_profiles_equal(new, ref)
+
+
+@pytest.mark.parametrize("batch", range(BATCHES))
+def test_randomized_operation_sequences(batch):
+    """>=1000 random op sequences: every step identical to the oracle."""
+    rng = random.Random(0xE5B + batch)
+    for _ in range(SEQUENCES_PER_BATCH):
+        run_sequence(rng)
+
+
+def test_failed_claim_is_atomic():
+    """A rejected claim leaves free counts untouched (no partial subtraction).
+
+    Breakpoint *insertions* from the failed attempt may remain (they are
+    semantically neutral, exactly as under the historic rollback path); the
+    free-core step function itself must not move.
+    """
+    probes = [0.0, 5.0, 9.9, 10.0, 14.9, 15.0, 19.9, 20.0, 99.0]
+    profile = AvailabilityProfile([0, 1], {0: 4, 1: 4}, 0.0, {0: 4, 1: 4})
+    profile.add_claim(10.0, 20.0, Allocation({0: 3}))  # only 1 free on node 0
+    before = [profile.free_at(t) for t in probes]
+    with pytest.raises(ValueError, match="oversubscribes"):
+        profile.add_claim(5.0, 15.0, Allocation({0: 2, 1: 1}))
+    assert [profile.free_at(t) for t in probes] == before
+
+
+def test_failed_release_is_atomic():
+    """A release above capacity is rejected before any interval is touched."""
+    profile = AvailabilityProfile([0, 1], {0: 2, 1: 4}, 0.0, {0: 4, 1: 4})
+    profile.add_claim(10.0, 20.0, Allocation({1: 4}))
+    before = {t: profile.free_at(t) for t in profile.breakpoints}
+    # freeing 3 on node 0 exceeds its capacity of 4 from t=0 on
+    with pytest.raises(ValueError, match="exceeds node capacity"):
+        profile.add_release(0.0, Allocation({0: 3, 1: 2}))
+    assert {t: profile.free_at(t) for t in profile.breakpoints} == before

@@ -283,5 +283,96 @@ class TestSchedulerStats:
         system = BatchSystem(2, 8, MauiConfig(timer_interval=10.0))
         system.submit(rigid(8, 25), FixedRuntimeApp(25))
         system.run(until=100.0)
-        # periodic wakeups continue after the workload drains
+        stats = system.scheduler.stats
+        # periodic wakeups continue after the workload drains; quiescent
+        # ticks are counted as skips instead of running a full pass
+        assert stats["iterations"] + stats["iterations_skipped"] >= 10
+        assert stats["iterations_skipped"] > 0
+
+    def test_timer_ticks_run_full_iterations_with_skip_disabled(self):
+        system = BatchSystem(2, 8, MauiConfig(timer_interval=10.0))
+        system.scheduler.iteration_skip_enabled = False
+        system.submit(rigid(8, 25), FixedRuntimeApp(25))
+        system.run(until=100.0)
         assert system.scheduler.stats["iterations"] >= 10
+        assert system.scheduler.stats["iterations_skipped"] == 0
+
+
+class TestIterationSkip:
+    """Event-driven activation: quiescent wake-ups skip, forced wakes run."""
+
+    def test_maintenance_edges_force_full_iterations(self):
+        from repro.maui.reservations import AdminReservation
+
+        window = AdminReservation(cores_by_node={0: 8}, start=50.0, end=60.0)
+        system = BatchSystem(2, 8, MauiConfig(admin_reservations=(window,)))
+        system.run(until=100.0)
+        # both window edges are time-only triggers: they must run a full
+        # pass even though no job or cluster state ever changed
+        assert system.scheduler.stats["iterations"] >= 2
+        assert system.scheduler.stats["iterations_skipped"] == 0
+
+    def test_productive_iteration_never_arms_the_skip(self):
+        # an iteration that starts a job changes state mid-pass; the echo
+        # wake-up it triggers must run another full pass (reservations can
+        # land differently once the job actually occupies its cores)
+        system = BatchSystem(2, 8, MauiConfig())
+        scheduler = system.scheduler
+        system.submit(rigid(4, 50), FixedRuntimeApp(50))
+        system.engine.run(until=1.0)
+        assert scheduler.stats["jobs_started"] == 1
+        # submit wake (starts the job) + its echo both ran full passes;
+        # the start bumped the versions past the first pass's fingerprint
+        assert scheduler.stats["iterations"] == 2
+        assert scheduler.stats["iterations_skipped"] == 0
+
+    def test_skip_on_and_off_schedules_are_identical(self):
+        from repro.workloads.random_workload import make_random_workload
+
+        def run(skip_enabled):
+            system = BatchSystem(4, 8, MauiConfig(timer_interval=15.0))
+            system.scheduler.iteration_skip_enabled = skip_enabled
+            make_random_workload(
+                40, 32, evolving_share=0.4, mean_interarrival=30.0,
+                size_range=(1, 16), seed=7,
+            ).submit_to(system)
+            # the periodic timer reschedules forever: bound by sim time
+            system.run(until=100_000.0, max_events=1_000_000)
+            assert not system.server.queue and not system.server.active_count
+            stats = system.scheduler.stats
+            # job ids are process-global, so compare in submission order
+            timeline = [
+                (j.start_time, j.end_time)
+                for j in sorted(system.server.jobs.values(), key=lambda j: j.seq)
+            ]
+            return timeline, stats
+
+        timeline_on, stats_on = run(True)
+        timeline_off, stats_off = run(False)
+        assert timeline_on == timeline_off
+        assert stats_on["dyn_granted"] == stats_off["dyn_granted"]
+        assert stats_on["dyn_rejected"] == stats_off["dyn_rejected"]
+        assert stats_on["jobs_started"] == stats_off["jobs_started"]
+        assert stats_on["jobs_backfilled"] == stats_off["jobs_backfilled"]
+        assert stats_on["iterations_skipped"] > 0
+        assert stats_off["iterations_skipped"] == 0
+        assert (
+            stats_on["iterations"] + stats_on["iterations_skipped"]
+            >= stats_off["iterations"]
+        )
+
+    def test_skip_counter_mirrored_into_registry(self):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry(enabled=True)
+        system = BatchSystem(
+            2, 8, MauiConfig(timer_interval=10.0), telemetry=telemetry
+        )
+        system.submit(rigid(8, 25), FixedRuntimeApp(25))
+        system.run(until=100.0)
+        skipped = system.scheduler.stats["iterations_skipped"]
+        assert skipped > 0
+        assert (
+            telemetry.registry.value("repro_sched_iterations_skipped_total")
+            == skipped
+        )
