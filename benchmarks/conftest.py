@@ -6,10 +6,13 @@ the rendered artifact here; the terminal summary prints them all, so
 the timings and the reproduced results.
 
 Benchmarks additionally record machine-readable numbers via
-:func:`record_bench`; at session end they are written to ``BENCH_PR3.json``
-at the repo root (see ``docs/PERFORMANCE.md`` for how to read it).  The
-snapshot always carries ``cpu_count`` — wall-clock comparisons (serial vs
-parallel campaigns in particular) are meaningless without it.
+:func:`record_bench`; at session end they are written to the repo-root
+snapshot file (see ``docs/PERFORMANCE.md`` for how to read it).  The
+filename comes from the ``BENCH_SNAPSHOT`` environment variable (default
+``BENCH_PR4.json``), so each PR's CI can keep its own snapshot without
+editing this file.  The snapshot always carries ``cpu_count`` —
+wall-clock comparisons (serial vs parallel campaigns in particular) are
+meaningless without it.
 """
 
 from __future__ import annotations
@@ -22,8 +25,11 @@ from pathlib import Path
 _REPORTS: list[tuple[str, str]] = []
 _BENCH: dict[str, dict[str, dict]] = {}
 
-#: repo-root snapshot file for this PR's performance numbers
-BENCH_SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+#: repo-root snapshot file for this PR's performance numbers; override the
+#: filename with the BENCH_SNAPSHOT environment variable
+BENCH_SNAPSHOT = Path(__file__).resolve().parent.parent / os.environ.get(
+    "BENCH_SNAPSHOT", "BENCH_PR4.json"
+)
 
 
 def usable_cpu_count() -> int:
@@ -47,7 +53,7 @@ def register_report(title: str, text: str) -> None:
 
 
 def record_bench(group: str, name: str, **values) -> None:
-    """Record one benchmark measurement for the ``BENCH_PR3.json`` snapshot.
+    """Record one benchmark measurement for the ``BENCH_SNAPSHOT`` file.
 
     ``group``/``name`` mirror the pytest-benchmark group and test; ``values``
     are plain JSON-serialisable numbers (seconds, counts, ratios).  Repeat

@@ -2,7 +2,7 @@
 
 Runs a reduced seed sweep (one configuration slice of the grid per seed)
 both in-process and through a 2-worker process pool, recording honest wall
-clocks into ``BENCH_PR3.json``.  There is deliberately no speedup
+clocks into the bench snapshot.  There is deliberately no speedup
 assertion: on a single-CPU container the pool *cannot* win (it pays fork +
 pickle overhead for zero extra parallelism), and the snapshot's
 ``cpu_count`` field — the affinity-mask count, not the installed count —

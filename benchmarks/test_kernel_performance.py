@@ -7,7 +7,7 @@ availability-profile queries at realistic breakpoint counts, and the
 full-iteration cost of the scheduler on a deep queue with the profile
 cache on and off, and the event-driven activation's skip rate on a
 timer-driven system.  Each test records its headline number into
-``BENCH_PR3.json`` via :func:`benchmarks.conftest.record_bench`.
+the bench snapshot via :func:`benchmarks.conftest.record_bench`.
 """
 
 import pytest

@@ -20,10 +20,11 @@ import timeit
 
 import pytest
 
-from benchmarks.conftest import register_report
+from benchmarks.conftest import record_bench, register_report
 from repro.experiments.configs import all_configurations
 from repro.experiments.runner import run_esp_configuration
 from repro.obs import Telemetry
+from repro.sim.events import EventKind
 
 _DYN_HP = next(c for c in all_configurations() if c.name == "Dyn-HP")
 
@@ -129,6 +130,94 @@ def test_disabled_overhead_within_five_percent():
     )
     assert overhead < budget, (
         f"{hooks} hook checks x {per_check * 1e9:.1f} ns = "
+        f"{overhead * 1e3:.3f} ms exceeds 5% of the "
+        f"{disabled_runtime * 1e3:.1f} ms disabled run"
+    )
+
+
+# ----------------------------------------------------------------------
+# decision-ledger overhead (same contract, separate budget accounting)
+# ----------------------------------------------------------------------
+def _count_ledger_hook_executions() -> int:
+    """Ledger hook sites executed by one ESP run with the ledger *off*.
+
+    The ledger adds, on the disabled path: the per-queued-job hold gate in
+    ``_eligible_static``, a handful of iteration-level ``is not None``
+    checks around classification, a per-start and two per-reservation
+    checks in ``_start_static``, and one check in each of the dynamic
+    grant/deny/defer funnels.  A ledger-enabled run supplies the event
+    counts; every site is charged generously.
+    """
+    telemetry = Telemetry(sample_interval=None, decision_ledger=True)
+    result = _run(telemetry=telemetry)
+    stats = result.scheduler_stats
+    queued_gate_checks = sum(
+        e.payload["queued"]
+        for e in result.trace
+        if e.kind is EventKind.SCHED_ITERATION
+    )
+    iteration_checks = 6 * stats["iterations"]
+    start_checks = stats["jobs_started"] + stats["jobs_backfilled"]
+    reservation_checks = 2 * stats["reservations_created"]
+    dyn_checks = 4 * (stats["dyn_granted"] + stats["dyn_rejected"])
+    return int(
+        queued_gate_checks
+        + iteration_checks
+        + start_checks
+        + reservation_checks
+        + dyn_checks
+    )
+
+
+@pytest.mark.benchmark(group="ledger")
+def test_ledger_enabled_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: _run(telemetry=Telemetry(decision_ledger=True)),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.metrics.completed_jobs == 230
+    record_bench(
+        "ledger",
+        "enabled_run",
+        decisions=len(result.telemetry.ledger),
+        grants=len(result.telemetry.ledger.grants()),
+    )
+
+
+def test_ledger_disabled_overhead_within_five_percent():
+    hooks = _count_ledger_hook_executions()
+    per_check = _per_check_cost_seconds()
+    start = timeit.default_timer()
+    _run()
+    disabled_runtime = timeit.default_timer() - start
+
+    overhead = hooks * per_check
+    budget = 0.05 * disabled_runtime
+    record_bench(
+        "ledger",
+        "disabled_bound",
+        hook_checks=hooks,
+        per_check_ns=per_check * 1e9,
+        overhead_ms=overhead * 1e3,
+        budget_ms=budget * 1e3,
+        headroom=budget / overhead,
+    )
+    register_report(
+        "Decision-ledger overhead — disabled-path bound (5 % budget)",
+        "\n".join(
+            [
+                f"  ledger hook checks per run  : {hooks:>12,d}",
+                f"  cost per is-None check      : {per_check * 1e9:>12.1f} ns",
+                f"  worst-case disabled overhead: {overhead * 1e3:>12.3f} ms",
+                f"  disabled run wall time      : {disabled_runtime * 1e3:>12.1f} ms",
+                f"  5% budget                   : {budget * 1e3:>12.1f} ms",
+                f"  headroom                    : {budget / overhead:>12.1f}x",
+            ]
+        ),
+    )
+    assert overhead < budget, (
+        f"{hooks} ledger hook checks x {per_check * 1e9:.1f} ns = "
         f"{overhead * 1e3:.3f} ms exceeds 5% of the "
         f"{disabled_runtime * 1e3:.1f} ms disabled run"
     )

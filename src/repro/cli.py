@@ -3,10 +3,12 @@
 Usage::
 
     repro-batchsim table1
-    repro-batchsim table2 [--seed N] [--telemetry-out DIR] [-j N]
+    repro-batchsim table2 [--seed N] [--telemetry-out DIR] [--ledger] [-j N]
     repro-batchsim fig7 | fig8 | fig9 | fig10 | fig11 | fig12
     repro-batchsim sweep | campaign [-j N]       # multi-seed campaigns
     repro-batchsim trace | timeline | metrics   # live telemetry views
+    repro-batchsim ledger                        # decision-ledger tail
+    repro-batchsim why [--job ID]                # per-job delay attribution
     repro-batchsim all
 
 ``-j/--jobs N`` fans multi-run campaigns (``sweep``, ``table2``,
@@ -17,6 +19,12 @@ bit-identical to serial runs.
 telemetry enabled and render, respectively: the tail of the event trace, a
 utilization sparkline over the sampled time series, and the full metrics
 registry (Prometheus text) plus the per-user DFS delay ledger.
+
+``ledger`` and ``why`` run the same Dyn-HP configuration with the causal
+decision ledger enabled: ``ledger`` prints the verdict summary and tail,
+``why`` explains one job (``--job``, default: the job dynamic grants
+delayed the most) — its wait decomposed into attributed components plus
+every decision that causally touched it.
 """
 
 from __future__ import annotations
@@ -41,11 +49,17 @@ def _cmd_table2(args) -> str:
     if getattr(args, "telemetry_out", None):
         from repro.experiments.table2 import run_table2_instrumented
 
-        results = run_table2_instrumented(seed=args.seed, out_dir=args.telemetry_out)
+        results = run_table2_instrumented(
+            seed=args.seed,
+            out_dir=args.telemetry_out,
+            decision_ledger=args.ledger,
+        )
+        suffixes = ".trace.jsonl and .metrics.prom" + (
+            " and .ledger.jsonl" if args.ledger else ""
+        )
         return (
             render_table2(results)
-            + f"\n\ntelemetry written to {args.telemetry_out}/"
-            "<config>.trace.jsonl and .metrics.prom"
+            + f"\n\ntelemetry written to {args.telemetry_out}/<config>{suffixes}"
         )
     from repro.experiments.table2 import run_table2
 
@@ -158,26 +172,40 @@ def _cmd_gantt(args) -> str:
     from repro.system import BatchSystem
     from repro.workloads.esp import make_esp_workload
 
+    telemetry = None
+    if args.ledger:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry(decision_ledger=True)
     system = BatchSystem(
-        15, 8, MauiConfig(reservation_depth=5, reservation_delay_depth=5)
+        15, 8, MauiConfig(reservation_depth=5, reservation_delay_depth=5),
+        telemetry=telemetry,
     )
     make_esp_workload(120, dynamic=True, seed=args.seed).submit_to(system)
     system.run(max_events=5_000_000)
+    ledger = telemetry.ledger if telemetry is not None else None
     return (
         "Dynamic ESP schedule (Dyn-HP), one row per node:\n"
-        + render_gantt(system.trace, system.cluster, width=100)
+        + render_gantt(system.trace, system.cluster, width=100, ledger=ledger)
     )
 
 
 @lru_cache(maxsize=4)
-def _instrumented_dyn_hp(seed: int, sample_interval: float, trace_maxlen: int | None):
+def _instrumented_dyn_hp(
+    seed: int,
+    sample_interval: float,
+    trace_maxlen: int | None,
+    with_ledger: bool = False,
+):
     """One telemetry-enabled Dyn-HP run, shared by trace/timeline/metrics."""
     from repro.experiments.configs import all_configurations
     from repro.experiments.runner import run_esp_configuration
     from repro.obs import Telemetry
 
     configuration = next(c for c in all_configurations() if c.name == "Dyn-HP")
-    telemetry = Telemetry(sample_interval=sample_interval)
+    telemetry = Telemetry(
+        sample_interval=sample_interval, decision_ledger=with_ledger
+    )
     return run_esp_configuration(
         configuration, seed=seed, telemetry=telemetry, trace_maxlen=trace_maxlen
     )
@@ -235,6 +263,51 @@ def _cmd_metrics(args) -> str:
     )
 
 
+def _cmd_ledger(args) -> str:
+    from repro.obs.console import render_decision_summary, render_decision_tail
+
+    result = _instrumented_dyn_hp(
+        args.seed, args.sample_interval, args.trace_maxlen, True
+    )
+    ledger = result.telemetry.ledger
+    return "\n".join(
+        [
+            f"Dyn-HP ESP run (seed {args.seed}) — causal decision ledger:",
+            render_decision_summary(ledger),
+            "",
+            f"last {args.tail} decisions:",
+            render_decision_tail(ledger, n=args.tail),
+        ]
+    )
+
+
+def _cmd_why(args) -> str:
+    from repro.obs.console import render_attribution, render_causal_chain
+
+    result = _instrumented_dyn_hp(
+        args.seed, args.sample_interval, args.trace_maxlen, True
+    )
+    ledger = result.telemetry.ledger
+    job_id = args.job or ledger.most_delayed_job()
+    if job_id is None:
+        return "no jobs recorded"
+    chain = ledger.causal_chain(job_id)
+    header = (
+        f"Dyn-HP ESP run (seed {args.seed}) — why {job_id}"
+        + ("" if args.job else " (most dyn-delayed job)")
+        + ":"
+    )
+    return "\n".join(
+        [
+            header,
+            render_attribution(ledger.attribution(job_id)),
+            "",
+            f"causal chain ({len(chain)} decisions):",
+            render_causal_chain(chain),
+        ]
+    )
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -252,6 +325,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "timeline": _cmd_timeline,
     "metrics": _cmd_metrics,
+    "ledger": _cmd_ledger,
+    "why": _cmd_why,
 }
 
 
@@ -328,6 +403,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="table2 only: dump per-config JSONL traces and Prometheus metrics",
+    )
+    parser.add_argument(
+        "--ledger",
+        action="store_true",
+        help=(
+            "table2/gantt: record the causal decision ledger "
+            "(table2 --telemetry-out also dumps <config>.ledger.jsonl; "
+            "gantt adds the per-grant attribution overlay)"
+        ),
+    )
+    parser.add_argument(
+        "--job",
+        default=None,
+        metavar="ID",
+        help="why only: job to explain (default: the most dyn-delayed job)",
     )
     parser.add_argument(
         "-j",

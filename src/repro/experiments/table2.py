@@ -40,19 +40,26 @@ def run_table2(
 
 
 def run_table2_instrumented(
-    seed: int = 2014, out_dir: str | Path | None = None
+    seed: int = 2014,
+    out_dir: str | Path | None = None,
+    *,
+    decision_ledger: bool = False,
 ) -> list[ESPResult]:
     """Table II with full telemetry: fresh runs, one Telemetry each.
 
     When ``out_dir`` is given, each configuration dumps its event trace as
     ``<config>.trace.jsonl`` and its metrics registry as
-    ``<config>.metrics.prom`` (Prometheus text exposition) into it.
+    ``<config>.metrics.prom`` (Prometheus text exposition) into it.  With
+    ``decision_ledger=True`` the scheduler's causal decision ledger is
+    recorded too and dumped as ``<config>.ledger.jsonl`` — deterministic
+    per (config, seed), so two runs produce byte-identical files (the CI
+    golden-ledger check relies on this).
     """
     from repro.obs import Telemetry, export_jsonl, to_prometheus_text
 
     results = []
     for cfg in all_configurations():
-        telemetry = Telemetry()
+        telemetry = Telemetry(decision_ledger=decision_ledger)
         result = run_esp_configuration(cfg, seed=seed, telemetry=telemetry)
         results.append(result)
         if out_dir is not None:
@@ -62,6 +69,8 @@ def run_table2_instrumented(
             (out / f"{cfg.name}.metrics.prom").write_text(
                 to_prometheus_text(telemetry.registry)
             )
+            if telemetry.ledger is not None:
+                telemetry.ledger.export_jsonl(out / f"{cfg.name}.ledger.jsonl")
     return results
 
 

@@ -86,6 +86,9 @@ class Job:
 
     # -- mutable lifecycle state (owned by the server) --------------------
     state: JobState = JobState.QUEUED
+    #: operator hold (Torque ``qhold``): "user" or "system"; a held job
+    #: stays queued but is invisible to the scheduler until released
+    hold: str | None = None
     submit_time: float | None = None
     start_time: float | None = None
     end_time: float | None = None
@@ -120,6 +123,8 @@ class Job:
                 raise ValueError("moldable molding supports flexible requests only")
         if self.dependency_type not in ("after", "afterok", "afterany"):
             raise ValueError(f"unknown dependency type: {self.dependency_type!r}")
+        if self.hold not in (None, "user", "system"):
+            raise ValueError(f"unknown hold kind: {self.hold!r}")
 
     # ------------------------------------------------------------------
     @property

@@ -4,6 +4,12 @@ Maui's FIRSTFIT backfill, constrained by the reservations of the top
 ``ReservationDepth`` blocked jobs (a small depth gives optimistic backfill,
 a large depth conservative backfill — paper Section III-A).  Backfill is
 suspended entirely while an ESP Z-type job is queued.
+
+Each start chosen here becomes a ``backfill_start`` decision in the
+ledger (when enabled), naming the higher-priority jobs it jumped and the
+hole it filled (``hole_until`` — the earliest protected-reservation
+start); jobs that fit by core count but are rejected by ``fits_at``
+accrue wait under the ``backfill_blocked`` attribution component.
 """
 
 from __future__ import annotations

@@ -67,5 +67,12 @@ def measure_delays(
         if job_id not in hyp_starts:
             continue
         delay = max(0.0, hyp_starts[job_id] - base_starts[job_id])
-        victims.append(Victim(job=planned.job, delay=delay))
+        victims.append(
+            Victim(
+                job=planned.job,
+                delay=delay,
+                planned_start=base_starts[job_id],
+                delayed_start=hyp_starts[job_id],
+            )
+        )
     return victims

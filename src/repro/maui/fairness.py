@@ -35,10 +35,18 @@ _EPSILON = 1e-9
 
 @dataclass(frozen=True, slots=True)
 class Victim:
-    """A queued job delayed by a hypothetical dynamic allocation."""
+    """A queued job delayed by a hypothetical dynamic allocation.
+
+    ``planned_start``/``delayed_start`` carry the baseline and hypothetical
+    plan starts the delay was measured from (None when the caller built the
+    victim without a plan); the decision ledger records them as causal
+    evidence alongside the delay itself.
+    """
 
     job: Job
     delay: float
+    planned_start: float | None = None
+    delayed_start: float | None = None
 
     def __post_init__(self) -> None:
         if self.delay < 0:

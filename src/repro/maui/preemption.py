@@ -6,6 +6,13 @@ resources").  Only *backfilled* jobs are preemptible — they ran out of order
 on opportunistic resources, so reclaiming them cannot violate any priority
 guarantee.  Victims are chosen latest-started-first (the least sunk work) and
 requeued, restarting from scratch like any requeued batch job.
+
+When the decision ledger is on, each victim this planner selects is
+recorded as a ``preemption`` decision carrying the grant that evicted it,
+and the victim's renewed wait accrues under the ``requeued`` attribution
+component — preempting a backfilled job never charges the grant's DFS
+delay budget (the job had no guaranteed start to push back), but the lost
+progress stays visible in the ledger.
 """
 
 from __future__ import annotations

@@ -66,10 +66,14 @@ class MauiScheduler:
         #: optional :class:`repro.obs.Telemetry` (defaults to the server's)
         self.telemetry = telemetry if telemetry is not None else server.telemetry
         self._obs = None
+        #: optional :class:`repro.obs.ledger.DecisionLedger`; None keeps
+        #: every ledger hook a single attribute-is-None check (off path)
+        self._ledger = None
         if self.telemetry is not None and self.telemetry.enabled:
             from repro.obs.instruments import SchedulerInstruments
 
             self._obs = SchedulerInstruments(self.telemetry)
+            self._ledger = getattr(self.telemetry, "ledger", None)
         self.fairshare = FairshareTracker(
             self.config.weights.fairshare_interval,
             self.config.weights.fairshare_decay,
@@ -325,9 +329,22 @@ class MauiScheduler:
                 for dreq in list(self.server.dyn_queue):
                     self._reject(dreq, "dynamic allocation disabled", kind="resources")
 
-        ordered = self._eligible_static(now)
+        ledger = self._ledger
+        exclusions: dict[str, tuple[str, str | None]] | None = (
+            {} if ledger is not None else None
+        )
+        ordered = self._eligible_static(now, exclusions=exclusions)
         lockdown = self.server.queue.has_top_priority_job
-        started, backfilled = self._start_static(ordered, now, lockdown)
+        outcome: dict[str, tuple[str, str | None]] | None = (
+            {} if ledger is not None else None
+        )
+        started, backfilled = self._start_static(ordered, now, lockdown, outcome=outcome)
+        if ledger is not None:
+            # every still-queued job is classified exactly once per pass:
+            # excluded (hold/dependency/throttle) or examined by the start
+            # pass (reserved, plain queued, or blocked from backfilling)
+            exclusions.update(outcome)
+            ledger.observe_queue(now, exclusions)
         self._schedule_boundary_wake()
 
         self.trace.record(
@@ -352,25 +369,43 @@ class MauiScheduler:
                 self.trace.total_recorded - events_before,
             )
 
-    def _eligible_static(self, now: float) -> list[Job]:
+    def _eligible_static(
+        self,
+        now: float,
+        exclusions: dict[str, tuple[str, str | None]] | None = None,
+    ) -> list[Job]:
         """Queued jobs eligible for priority scheduling (Algorithm step 6).
 
-        Two gates, both part of Maui's "minimum scheduling criterion":
+        Three gates, all part of Maui's "minimum scheduling criterion":
 
+        * holds — a held job stays queued but frozen until released;
         * dependencies — unmet dependencies keep the job queued but
           invisible to the planner; a failed ``afterok`` cancels it;
         * throttling — at most ``max_eligible_jobs_per_user`` queued jobs
           per user are considered, and a user at the
           ``max_running_jobs_per_user`` cap contributes no more eligible
           jobs than the cap leaves headroom for.
+
+        ``exclusions`` (diagnostics/ledger only) collects
+        ``job_id -> (cause, detail)`` for every job a gate filtered out,
+        naming the specific hold kind, dependency target or throttle limit.
         """
         eligible: list[Job] = []
         for job in self.server.queue.snapshot():
+            if job.hold is not None:
+                if exclusions is not None:
+                    exclusions[job.job_id] = (f"{job.hold}_held", f"{job.hold} hold")
+                continue
             if self.server.dependency_failed(job):
                 self.server.cancel_queued(job, reason="dependency failed")
                 continue
             if self.server.dependency_satisfied(job):
                 eligible.append(job)
+            elif exclusions is not None:
+                exclusions[job.job_id] = (
+                    "dependency_held",
+                    f"dependency on {job.depends_on}",
+                )
         ordered = self.prioritizer.order(eligible, now)
         max_running = self.config.max_running_jobs_per_user
         max_eligible = self.config.max_eligible_jobs_per_user
@@ -384,10 +419,20 @@ class MauiScheduler:
         for job in ordered:
             user_taken = taken.get(job.user, 0)
             if max_eligible is not None and user_taken >= max_eligible:
+                if exclusions is not None:
+                    exclusions[job.job_id] = (
+                        "throttled",
+                        f"throttled by max_eligible_jobs_per_user={max_eligible}",
+                    )
                 continue
             if max_running is not None:
                 headroom = max_running - running_count.get(job.user, 0)
                 if user_taken >= headroom:
+                    if exclusions is not None:
+                        exclusions[job.job_id] = (
+                            "throttled",
+                            f"throttled by max_running_jobs_per_user={max_running}",
+                        )
                     continue
             taken[job.user] = user_taken + 1
             throttled.append(job)
@@ -546,11 +591,20 @@ class MauiScheduler:
             # own preemption policy rather than DFS (which protects *queued*
             # jobs); the victims rejoin the queue and benefit from DFS there.
             for victim in preempt_victims:
+                if self._ledger is not None:
+                    self._ledger.note_preemption(
+                        victim, dreq.job, now,
+                        victim.allocation.total_cores if victim.allocation else 0,
+                    )
                 self.server.preempt_job(victim)
                 self.stats["preemptions"] += 1
             alloc = find_dynamic_allocation(self.cluster, dreq.request, self.config)
             assert alloc is not None, "preemption plan did not free enough"
-            self._grant(dreq, alloc, victims=[], charged=0.0)
+            self._grant(
+                dreq, alloc, victims=[], charged=0.0,
+                reason="preempted backfill",
+                preempted=[v.job_id for v in preempt_victims],
+            )
             return
 
         # measure delays against the queue as planned on the static partitions
@@ -569,9 +623,14 @@ class MauiScheduler:
         decision = self.dfs.evaluate(victims, job.user, now)
         if decision:
             charged = self.dfs.commit(victims, job.user)
-            self._grant(dreq, alloc, victims=victims, charged=charged)
+            self._grant(
+                dreq, alloc, victims=victims, charged=charged,
+                reason=decision.reason,
+            )
         else:
-            self._deny(dreq, decision.reason, kind="fairness", now=now)
+            self._deny(
+                dreq, decision.reason, kind="fairness", now=now, victims=victims
+            )
 
     def _steal_from_malleable(self, dreq: DynRequest) -> Allocation | None:
         """Shrink running malleable jobs until the request fits (or give up).
@@ -650,6 +709,13 @@ class MauiScheduler:
             charged = self.dfs.commit(victims, job.user)
             self.stats["dyn_granted"] += 1
             self.stats["total_delay_charged"] += charged
+            if self._ledger is not None:
+                self._ledger.note_dyn_grant(
+                    dreq, now, cores=0, victims=victims, charged=charged,
+                    policy=self.config.dfs.policy.value, reason=decision.reason,
+                    fingerprint=self._fingerprint(now),
+                    extension=dreq.extend_walltime,
+                )
             self.server.grant_walltime_extension(dreq)
         else:
             self.trace.record(
@@ -660,19 +726,55 @@ class MauiScheduler:
                 extension=dreq.extend_walltime,
                 reason=decision.reason,
             )
-            self._reject(dreq, decision.reason, kind="fairness")
+            self._reject(dreq, decision.reason, kind="fairness", victims=victims)
 
-    def _grant(self, dreq, alloc, *, victims, charged: float) -> None:
+    def _fingerprint(self, now: float) -> tuple[int, int, float]:
+        """Availability-profile state fingerprint: the cache key identifying
+        the exact ``(server state, cluster state, time)`` snapshot a verdict's
+        profile was built from (see :meth:`_build_profile`)."""
+        return (self.server.state_version, self.cluster.version, now)
+
+    def _grant(
+        self,
+        dreq,
+        alloc,
+        *,
+        victims,
+        charged: float,
+        reason: str = "",
+        preempted: list[str] | None = None,
+    ) -> None:
+        if self._ledger is not None:
+            self._ledger.note_dyn_grant(
+                dreq, self.engine.now, cores=alloc.total_cores, victims=victims,
+                charged=charged, policy=self.config.dfs.policy.value,
+                reason=reason, fingerprint=self._fingerprint(self.engine.now),
+                preempted=preempted,
+            )
         self.stats["dyn_granted"] += 1
         self.stats["total_delay_charged"] += charged
         self.server.grant_dynamic(dreq, alloc)
 
-    def _reject(self, dreq, reason: str, *, kind: str) -> None:
+    def _reject(self, dreq, reason: str, *, kind: str, victims=()) -> None:
+        if self._ledger is not None:
+            self._ledger.note_dyn_deny(
+                dreq, self.engine.now, reason=reason, deny_kind=kind,
+                victims=victims, policy=self.config.dfs.policy.value,
+                fingerprint=self._fingerprint(self.engine.now),
+            )
         self.stats["dyn_rejected"] += 1
         self.stats[f"dyn_rejected_{kind}"] += 1
         self.server.reject_dynamic(dreq, reason)
 
-    def _deny(self, dreq: DynRequest, reason: str, *, kind: str, now: float) -> None:
+    def _deny(
+        self,
+        dreq: DynRequest,
+        reason: str,
+        *,
+        kind: str,
+        now: float,
+        victims=(),
+    ) -> None:
         """Reject — or, for a live negotiated request, defer with an estimate.
 
         Negotiated requests (Section III-C outlook) stay in the dynamic
@@ -681,21 +783,29 @@ class MauiScheduler:
         application can plan around it.
         """
         if not dreq.negotiated or now >= (dreq.deadline or now):
-            self._reject(dreq, reason, kind=kind)
+            self._reject(dreq, reason, kind=kind, victims=victims)
             return
         profile = self._build_profile(None)
         try:
             available_at, _alloc = profile.earliest_fit(dreq.request, 1.0, after=now)
         except NoFitError:
-            self._reject(dreq, f"{reason}; request can never fit", kind=kind)
+            self._reject(
+                dreq, f"{reason}; request can never fit", kind=kind, victims=victims
+            )
             return
+        if self._ledger is not None:
+            self._ledger.note_dyn_defer(dreq, now, estimate=available_at)
         dreq.publish_estimate(available_at)
 
     # ------------------------------------------------------------------
     # static starts, reservations, backfill (Algorithm 2 lines 25-26)
     # ------------------------------------------------------------------
     def _start_static(
-        self, ordered: list[Job], now: float, lockdown: bool
+        self,
+        ordered: list[Job],
+        now: float,
+        lockdown: bool,
+        outcome: dict[str, tuple[str, str | None]] | None = None,
     ) -> tuple[int, int]:
         """Start jobs in priority order; reserve for the top blocked jobs.
 
@@ -705,21 +815,32 @@ class MauiScheduler:
         order and are therefore marked (and counted) as backfill; with
         backfill disabled the pass stops at the first blocked job instead
         (strict priority order).  Returns (priority starts, backfill starts).
+
+        ``outcome`` (ledger only) collects ``job_id -> (cause, detail)`` for
+        every examined-but-not-started job plus everything left unexamined
+        when the pass stops early.
         """
         partitions = static_partitions(self.config)
         working = self._build_profile(partitions)
+        ledger = self._ledger
+        fingerprint = self._fingerprint(now)
+        blocked_ids: list[str] = []
+        reserved_ahead: list[tuple[str, float]] = []
         reservations = 0
         started = 0
         backfilled = 0
         passed_blocked = False
+        stopped_at: int | None = None
         self._next_reservation_start = None
-        for job in ordered:
+        for idx, job in enumerate(ordered):
             alloc = working.fits_at(now, job.walltime, job.request)
+            molded = False
             if alloc is None and job.moldable_floor < job.request.total_cores:
                 # moldable job: start now on the largest fitting size within
                 # [min_cores, request) rather than wait for the full request
                 alloc = self._mold_to_fit(working, job, now)
                 if alloc is not None:
+                    molded = True
                     self.stats["jobs_molded"] += 1
                     self.trace.record(
                         now,
@@ -732,6 +853,17 @@ class MauiScheduler:
                     )
             if alloc is not None:
                 working.add_claim(now, now + job.walltime, alloc)
+                if ledger is not None:
+                    ledger.note_start(
+                        job,
+                        now,
+                        backfilled=passed_blocked,
+                        molded=molded,
+                        cores=alloc.total_cores,
+                        fingerprint=fingerprint,
+                        jumped=blocked_ids if passed_blocked else None,
+                        hole_until=self._next_reservation_start,
+                    )
                 # a start while a higher-priority job waits is out-of-order
                 # execution, i.e. backfill in Maui's terms
                 self.server.start_job(job, alloc, backfilled=passed_blocked)
@@ -749,6 +881,11 @@ class MauiScheduler:
                         job.request, job.walltime, after=now
                     )
                 except NoFitError:
+                    if outcome is not None:
+                        outcome[job.job_id] = (
+                            "queued_behind",
+                            "request can never fit",
+                        )
                     continue  # oversized for this partition view; skip
                 working.add_claim(start, start + job.walltime, res_alloc)
                 reservations += 1
@@ -765,11 +902,44 @@ class MauiScheduler:
                     start=start,
                     cores=res_alloc.total_cores,
                 )
+                if ledger is not None:
+                    # what is the reservation waiting on: running jobs that
+                    # release by its start, plus earlier reservations due
+                    # to start before it
+                    waiting_on = [
+                        j.job_id
+                        for j in self.server.active_jobs()
+                        if j.walltime_end <= start + 1e-9
+                    ] + [jid for jid, s in reserved_ahead if s <= start + 1e-9]
+                    ledger.note_reservation(
+                        job, now, start, res_alloc.total_cores,
+                        waiting_on, fingerprint,
+                    )
+                    reserved_ahead.append((job.job_id, start))
+                    if outcome is not None:
+                        outcome[job.job_id] = (
+                            "reservation_held",
+                            f"reserved at t={start:.1f}",
+                        )
+            elif outcome is not None:
+                behind = f"behind {blocked_ids[0]}" if blocked_ids else None
+                outcome[job.job_id] = ("queued_behind", behind)
+            blocked_ids.append(job.job_id)
             passed_blocked = True
             if job.top_priority or not self.config.backfill_enabled or lockdown:
                 # ESP Z-job lockdown, or strict priority order without
                 # backfill: nothing below the blocked job may start
+                stopped_at = idx
                 break
+        if outcome is not None and stopped_at is not None:
+            if lockdown:
+                reason = "Z-job lockdown"
+            elif not self.config.backfill_enabled:
+                reason = "backfill disabled"
+            else:
+                reason = f"blocked top-priority job {ordered[stopped_at].job_id}"
+            for job in ordered[stopped_at + 1 :]:
+                outcome[job.job_id] = ("backfill_blocked", reason)
         return started, backfilled
 
     def explain(self, job: Job) -> dict:
@@ -777,8 +947,12 @@ class MauiScheduler:
 
         Returns a dict with the job's state, queue position, current
         priority, planned earliest start from a fresh plan, and — for
-        queued jobs — what is holding it back (dependency, throttling, or
-        resources).  Read-only: no reservation or start side effects.
+        queued jobs — what is holding it back, naming the *specific* gate:
+        the hold kind, the dependency target, the throttle limit hit, or
+        resources.  With the decision ledger enabled the dict also carries
+        the job's causal chain (every recorded decision that touched it)
+        and its wait-time attribution so far.  Read-only: no reservation
+        or start side effects.
         """
         now = self.engine.now
         info: dict = {
@@ -791,17 +965,19 @@ class MauiScheduler:
         }
         if job.submit_time is not None:
             info["priority"] = self.prioritizer.priority(job, now)
+        if self._ledger is not None:
+            info["causal_chain"] = self._ledger.causal_chain(job.job_id)
+            info["attribution"] = self._ledger.attribution(job.job_id, upto=now)
         if job.is_active:
             info["planned_start"] = job.start_time
             return info
         if job.is_finished or job.submit_time is None:
             return info
-        eligible = self._eligible_static(now)
+        exclusions: dict[str, tuple[str, str | None]] = {}
+        eligible = self._eligible_static(now, exclusions=exclusions)
         if job not in eligible:
-            if not self.server.dependency_satisfied(job):
-                info["blocked_by"] = f"dependency on {job.depends_on}"
-            else:
-                info["blocked_by"] = "throttling policy"
+            _cause, detail = exclusions.get(job.job_id, (None, None))
+            info["blocked_by"] = detail
             return info
         info["queue_position"] = eligible.index(job)
         from repro.maui.reservations import plan_static

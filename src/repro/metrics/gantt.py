@@ -23,6 +23,7 @@ def render_gantt(
     width: int = 72,
     until: float | None = None,
     labels: dict[str, str] | None = None,
+    ledger=None,
 ) -> str:
     """One row per node, one column per time bucket.
 
@@ -30,6 +31,12 @@ def render_gantt(
     the bucket — ``.`` for idle, ``*`` when several jobs share the node.
     ``labels`` maps job_id to a single display character; unlabelled jobs
     cycle through a-z/A-Z.
+
+    ``ledger`` (a :class:`repro.obs.DecisionLedger`) adds a per-grant
+    attribution overlay: a marker row placing every dynamic grant in time,
+    then one line per grant with the delay it inflicted on planned queued
+    jobs and the rigid jobs it displaced — the causal annotation the
+    occupancy rows alone cannot show.
     """
     # reconstruct per-node occupancy intervals from the trace;
     # holds: job -> node -> (acquire time, cores held) so a *partial*
@@ -104,4 +111,31 @@ def render_gantt(
         lines.append(f"{node.name} |{''.join(row)}|")
     legend = ", ".join(f"{v}={k}" for k, v in sorted(labels.items(), key=lambda x: x[1]))
     lines.append(f"legend: {legend}, *=shared" if legend else "legend: (no jobs)")
+    if ledger is not None:
+        lines.extend(_grant_overlay(ledger, bucket, width, label_of))
     return "\n".join(lines)
+
+
+def _grant_overlay(ledger, bucket: float, width: int, label_of) -> list[str]:
+    """Marker row + per-grant attribution lines for the gantt footer."""
+    grants = ledger.grants()
+    if not grants:
+        return ["grants: (none)"]
+    row = ["."] * width
+    for decision in grants:
+        b = min(int(decision.time / bucket), width - 1) if bucket > 0 else 0
+        row[b] = "^" if row[b] == "." else "*"
+    lines = [f"grants   |{''.join(row)}| (^ = dynamic grant, * = several)"]
+    for decision in grants:
+        payload = decision.payload
+        displaced = ",".join(
+            label_of(job_id) for job_id in payload.get("displaced_rigid", [])
+        )
+        lines.append(
+            f"  {payload['grant_id']:<10} t={decision.time:>8.0f}"
+            f" {label_of(decision.job_id)}={decision.job_id:<10}"
+            f" +{payload['cores']}c"
+            f" inflicted={payload['total_delay']:.0f}s"
+            + (f" displaced rigid [{displaced}]" if displaced else "")
+        )
+    return lines

@@ -24,6 +24,7 @@ from repro.obs.exporters import (
     read_jsonl,
     to_prometheus_text,
 )
+from repro.obs.ledger import Decision, DecisionKind, DecisionLedger
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sampler import PeriodicSampler
 from repro.obs.telemetry import DEFAULT_SAMPLE_INTERVAL, Telemetry
@@ -31,6 +32,9 @@ from repro.obs.tracing import Span, SpanTracer
 
 __all__ = [
     "Counter",
+    "Decision",
+    "DecisionKind",
+    "DecisionLedger",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -1,9 +1,11 @@
 """Terminal renderers for live-style telemetry views.
 
-Used by the ``repro.cli trace`` / ``timeline`` / ``metrics`` subcommands:
-an event tail (the last N trace events), a unicode sparkline over a sampled
-time series (utilization timeline), and a per-principal DFS ledger table.
-Pure functions over telemetry data — no I/O, golden-output-testable.
+Used by the ``repro.cli trace`` / ``timeline`` / ``metrics`` / ``ledger`` /
+``why`` subcommands: an event tail (the last N trace events), a unicode
+sparkline over a sampled time series (utilization timeline), a
+per-principal DFS ledger table, and the decision-ledger views (verdict
+tail/summary, per-job wait attribution, causal chains).  Pure functions
+over telemetry data — no I/O, golden-output-testable.
 """
 
 from __future__ import annotations
@@ -17,6 +19,10 @@ __all__ = [
     "sparkline",
     "render_series_sparkline",
     "render_ledger_table",
+    "render_decision_summary",
+    "render_decision_tail",
+    "render_attribution",
+    "render_causal_chain",
 ]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
@@ -89,6 +95,90 @@ def render_series_sparkline(
         f"min={min(values):.2f} max={max(values):.2f} last={values[-1]:.2f}\n"
         f"  [{sparkline(shown, lo=vlo, hi=vhi)}]"
     )
+
+
+def _decision_line(decision: Mapping) -> str:
+    """One decision as a fixed-prefix line; payload keys in sorted order."""
+    payload = decision.get("payload", {})
+    parts = []
+    for key in sorted(payload):
+        value = payload[key]
+        if key in ("victims", "would_delay"):
+            value = f"[{len(value)}]"
+        elif isinstance(value, float):
+            value = f"{value:.1f}"
+        parts.append(f"{key}={value}")
+    return (
+        f"#{decision['seq']:<5} t={decision['t']:>10.1f}  "
+        f"{decision['kind']:<18} {decision['job_id'] or '-':<12} "
+        + " ".join(parts)
+    )
+
+
+def render_decision_summary(ledger) -> str:
+    """Decision counts per kind plus the grant/delay totals."""
+    counts = ledger.summary()
+    lines = [f"decision ledger: {len(ledger)} decisions"]
+    for kind in sorted(counts):
+        lines.append(f"  {kind:<20} {counts[kind]:>6}")
+    grants = ledger.grants()
+    if grants:
+        total = sum(d.payload.get("total_delay", 0.0) for d in grants)
+        displaced = sum(len(d.payload.get("displaced_rigid", [])) for d in grants)
+        lines.append(
+            f"  {len(grants)} grants inflicted {total:.1f}s of planned delay "
+            f"on {displaced} rigid-job placements"
+        )
+    return "\n".join(lines)
+
+
+def render_decision_tail(ledger, n: int = 20) -> str:
+    """The newest ``n`` decisions, one per line."""
+    decisions = list(ledger)[-n:]
+    hidden = len(ledger) - len(decisions)
+    lines = [f"... {hidden} earlier decisions not shown ..."] if hidden else []
+    for decision in decisions:
+        lines.append(_decision_line(decision.to_dict()))
+    if not decisions:
+        lines.append("(no decisions recorded)")
+    return "\n".join(lines)
+
+
+def render_attribution(attribution: Mapping | None) -> str:
+    """A job's wait decomposition as an indented component table.
+
+    The component seconds (including every per-grant ``dyn_inflicted``
+    charge) sum exactly to the displayed wait — that invariant is the whole
+    point of the attribution engine, so the renderer shows the sum check.
+    """
+    if attribution is None:
+        return "(no wait attribution recorded for this job)"
+    lines = [
+        f"{attribution['job_id']}: submitted t={attribution['submitted']:.1f}"
+        + (
+            f", started t={attribution['started']:.1f}"
+            if attribution["started"] is not None
+            else ", still queued"
+        )
+        + f", wait {attribution['wait']:.1f}s"
+    ]
+    components = attribution["components"]
+    dyn = attribution["dyn_inflicted"]
+    for name in sorted(components):
+        lines.append(f"  {name:<24} {components[name]:>12.1f}s")
+    for grant_id in dyn:
+        label = f"dyn_inflicted[{grant_id}]"
+        lines.append(f"  {label:<24} {dyn[grant_id]:>12.1f}s")
+    total = sum(components.values()) + sum(dyn.values())
+    lines.append(f"  {'= total':<24} {total:>12.1f}s")
+    return "\n".join(lines)
+
+
+def render_causal_chain(chain: Sequence[Mapping]) -> str:
+    """Every decision causally involving a job, in decision order."""
+    if not chain:
+        return "(no decisions involve this job)"
+    return "\n".join(_decision_line(d) for d in chain)
 
 
 def render_ledger_table(

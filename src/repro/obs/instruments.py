@@ -36,7 +36,15 @@ repro_dfs_ledger_delay_seconds{kind,name}   gauge       maui.scheduler (per iter
 repro_sched_iteration_seconds               histogram   maui.scheduler (wall clock)
 repro_dyn_handle_seconds                    histogram   maui.scheduler (wall clock)
 repro_busy_cores                            gauge       cluster.machine
+repro_ledger_decisions_total{kind}          counter     obs.ledger (per kind)
+repro_ledger_dyn_inflicted_seconds_total    counter     obs.ledger
+repro_ledger_waits_closed_total             counter     obs.ledger
 ========================================== =========== ==========================
+
+The ``repro_ledger_*`` instruments are registered by the decision ledger
+itself (``repro.obs.ledger``) rather than by a bundle here — the ledger
+is its own hook consumer and only exists when
+``Telemetry(decision_ledger=True)``.
 """
 
 from __future__ import annotations

@@ -40,10 +40,18 @@ class Telemetry:
         enabled: bool = True,
         sample_interval: float | None = DEFAULT_SAMPLE_INTERVAL,
         span_maxlen: int = 4096,
+        decision_ledger: bool = False,
     ) -> None:
         self.enabled = enabled
         self.registry = MetricsRegistry()
         self.tracer = SpanTracer(maxlen=span_maxlen)
+        #: optional causal decision ledger (``decision_ledger=True``);
+        #: BatchSystem attaches it to the trace, the scheduler records into it
+        self.ledger = None
+        if enabled and decision_ledger:
+            from repro.obs.ledger import DecisionLedger
+
+            self.ledger = DecisionLedger(registry=self.registry)
         self.sample_interval = sample_interval
         self.sampler: PeriodicSampler | None = None
         self._pending_sources: dict[str, object] = {}

@@ -248,6 +248,42 @@ class Server:
         self._teardown(job, JobState.ABORTED, EventKind.JOB_ABORT, reason=reason)
         self._notify()
 
+    def hold_job(self, job: Job, kind: str = "user") -> None:
+        """Place a hold on a queued job (Torque ``qhold``).
+
+        Held jobs stay in the queue but are excluded from scheduling until
+        :meth:`release_hold`; ``kind`` distinguishes operator/system holds
+        from user holds in diagnostics (``scheduler.explain``).
+        """
+        if kind not in ("user", "system"):
+            raise ValueError(f"unknown hold kind: {kind!r}")
+        if job.state is not JobState.QUEUED:
+            raise RuntimeError(f"{job.job_id} is {job.state.value}, cannot hold")
+        job.hold = kind
+        self.trace.record(
+            self.engine.now,
+            EventKind.JOB_HOLD,
+            job_id=job.job_id,
+            user=job.user,
+            hold=kind,
+        )
+        log.info("qhold %s (%s hold)", job.job_id, kind)
+        self._notify()
+
+    def release_hold(self, job: Job) -> None:
+        """Release a held job back into scheduling (Torque ``qrls``)."""
+        if job.hold is None:
+            return
+        job.hold = None
+        self.trace.record(
+            self.engine.now,
+            EventKind.JOB_RELEASE,
+            job_id=job.job_id,
+            user=job.user,
+        )
+        log.info("qrls %s", job.job_id)
+        self._notify()
+
     def cancel_queued(self, job: Job, reason: str = "cancelled") -> None:
         """Remove a queued job before it ever starts (``qdel``)."""
         if job.state is not JobState.QUEUED:

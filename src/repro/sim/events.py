@@ -45,6 +45,11 @@ class EventKind(enum.Enum):
     MALLEABLE_SHRINK = "malleable_shrink"
     CHECKPOINT = "checkpoint"
     MOLDABLE_START = "moldable_start"
+    # operator job holds (qhold/qrls)
+    JOB_HOLD = "job_hold"
+    JOB_RELEASE = "job_release"
+    # decision-ledger mirror: every scheduler verdict, when the ledger is on
+    DECISION = "decision"
 
 
 @dataclass(frozen=True, slots=True)

@@ -65,6 +65,10 @@ class BatchSystem:
         if telemetry is not None:
             telemetry.ensure_sampler(self.engine)
             self.cluster.attach_telemetry(telemetry, self.engine)
+            if telemetry.ledger is not None:
+                # wait timelines follow the lifecycle events; decisions are
+                # mirrored into the trace for JSONL export
+                telemetry.ledger.attach_trace(self.trace)
         self.server = Server(
             self.engine, self.cluster, self.trace, telemetry=telemetry
         )
