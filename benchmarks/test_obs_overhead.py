@@ -221,3 +221,40 @@ def test_ledger_disabled_overhead_within_five_percent():
         f"{overhead * 1e3:.3f} ms exceeds 5% of the "
         f"{disabled_runtime * 1e3:.1f} ms disabled run"
     )
+
+
+# ----------------------------------------------------------------------
+# fault-injection overhead (same contract, injector absent)
+# ----------------------------------------------------------------------
+def test_faults_absent_overhead_within_five_percent():
+    """With no injector attached, the fault layer is one ``self._faults is
+    not None`` check per dynamic grant — nothing else touches the hot path.
+    """
+    telemetry = Telemetry(sample_interval=None)
+    _run(telemetry=telemetry)
+    hooks = int(telemetry.registry.value("repro_dyn_grants_total"))
+    per_check = _per_check_cost_seconds()
+    start = timeit.default_timer()
+    _run()
+    disabled_runtime = timeit.default_timer() - start
+
+    overhead = hooks * per_check
+    budget = 0.05 * disabled_runtime
+    register_report(
+        "Fault-injection overhead — injector-absent bound (5 % budget)",
+        "\n".join(
+            [
+                f"  fault hook checks per run   : {hooks:>12,d}",
+                f"  cost per is-None check      : {per_check * 1e9:>12.1f} ns",
+                f"  worst-case absent overhead  : {overhead * 1e3:>12.3f} ms",
+                f"  disabled run wall time      : {disabled_runtime * 1e3:>12.1f} ms",
+                f"  5% budget                   : {budget * 1e3:>12.1f} ms",
+                f"  headroom                    : {budget / overhead:>12.1f}x",
+            ]
+        ),
+    )
+    assert overhead < budget, (
+        f"{hooks} fault hook checks x {per_check * 1e9:.1f} ns = "
+        f"{overhead * 1e3:.3f} ms exceeds 5% of the "
+        f"{disabled_runtime * 1e3:.1f} ms disabled run"
+    )

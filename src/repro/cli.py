@@ -9,7 +9,17 @@ Usage::
     repro-batchsim trace | timeline | metrics   # live telemetry views
     repro-batchsim ledger                        # decision-ledger tail
     repro-batchsim why [--job ID]                # per-job delay attribution
+    repro-batchsim resilience [--mtbf S] [--mttr S] [--fault-seed N]
+                              [--delivery-failure-rate P] [--out DIR] [-j N]
     repro-batchsim all
+
+``resilience`` (and ``table2 --faults``) reruns the Table II
+configurations under seeded fault injection (``repro.faults``): node
+failures drawn per-node from an exponential/Weibull MTBF with
+exponential repairs, plus transient grant-delivery drops retried with
+exponential backoff.  ``--out DIR`` writes canonical ``resilience.json``
+(byte-identical per seed; the CI determinism check ``cmp``'s two of
+them).  See docs/RESILIENCE.md.
 
 ``-j/--jobs N`` fans multi-run campaigns (``sweep``, ``table2``,
 ``campaign``) out over N worker processes (0 = every CPU); results are
@@ -43,9 +53,51 @@ def _cmd_table1(args) -> str:
     return render_table1(total_cores=args.cores)
 
 
+def _fault_model_from_args(args):
+    from repro.experiments.resilience import default_fault_model
+
+    return default_fault_model(
+        fault_seed=args.fault_seed,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+        distribution=args.fault_dist,
+        burst_probability=args.burst_probability,
+        delivery_failure_rate=args.delivery_failure_rate,
+    )
+
+
+def _cmd_resilience(args) -> str:
+    from repro.experiments.resilience import (
+        export_resilience_json,
+        render_resilience,
+        run_resilience,
+    )
+
+    model = _fault_model_from_args(args)
+    rows = run_resilience(seed=args.seed, fault_model=model, workers=args.jobs)
+    out = render_resilience(rows)
+    if args.out:
+        path = export_resilience_json(
+            rows, args.out, fault_model=model, seed=args.seed
+        )
+        out += f"\n\nresilience rows written to {path}"
+    return out
+
+
 def _cmd_table2(args) -> str:
     from repro.experiments.table2 import render_table2
 
+    if getattr(args, "faults", False):
+        from repro.experiments.resilience import render_resilience, run_resilience
+
+        rows = run_resilience(
+            seed=args.seed,
+            fault_model=_fault_model_from_args(args),
+            workers=args.jobs,
+        )
+        return render_resilience(
+            rows, title="Table II configurations under failure injection"
+        )
     if getattr(args, "telemetry_out", None):
         from repro.experiments.table2 import run_table2_instrumented
 
@@ -327,6 +379,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "ledger": _cmd_ledger,
     "why": _cmd_why,
+    "resilience": _cmd_resilience,
 }
 
 
@@ -429,6 +482,53 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for sweep/table2/campaign "
             "(0 = all CPUs; default: serial)"
         ),
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="table2: rerun the configurations under seeded fault injection",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=2014,
+        help="resilience/--faults: failure-trace seed (default 2014)",
+    )
+    parser.add_argument(
+        "--mtbf",
+        type=_positive_float,
+        default=6000.0,
+        help="resilience/--faults: per-node mean time between failures [s]",
+    )
+    parser.add_argument(
+        "--mttr",
+        type=_positive_float,
+        default=900.0,
+        help="resilience/--faults: mean time to repair [s]",
+    )
+    parser.add_argument(
+        "--fault-dist",
+        choices=["exponential", "weibull"],
+        default="exponential",
+        help="resilience/--faults: failure inter-arrival distribution",
+    )
+    parser.add_argument(
+        "--burst-probability",
+        type=float,
+        default=0.0,
+        help="resilience/--faults: chance a failure takes neighbours down too",
+    )
+    parser.add_argument(
+        "--delivery-failure-rate",
+        type=float,
+        default=0.05,
+        help="resilience/--faults: transient grant-delivery drop rate",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="resilience only: write machine-readable resilience.json to DIR",
     )
     parser.add_argument(
         "--num-jobs",

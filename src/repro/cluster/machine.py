@@ -190,17 +190,31 @@ class Cluster:
     # ------------------------------------------------------------------
     # failures (extension used by fault-tolerance tests/examples)
     # ------------------------------------------------------------------
-    def fail_node(self, index: int) -> None:
-        """Mark a node DOWN.  Caller is responsible for re-queueing jobs."""
-        self._by_index[index].state = NodeState.DOWN
-        self.version += 1
-        log.warning("node %s marked DOWN", self._by_index[index].name)
+    def fail_node(self, index: int) -> bool:
+        """Mark a node DOWN.  Caller is responsible for re-queueing jobs.
 
-    def recover_node(self, index: int) -> None:
+        Idempotent: failing a node that is already DOWN is a no-op and —
+        crucially — does *not* bump :attr:`version`, so repeat transitions
+        never spuriously invalidate the scheduler's profile cache or defeat
+        its quiescence fingerprint.  Returns True when the state changed.
+        """
         node = self._by_index[index]
+        if node.state is NodeState.DOWN:
+            return False
+        node.state = NodeState.DOWN
+        self.version += 1
+        log.warning("node %s marked DOWN", node.name)
+        return True
+
+    def recover_node(self, index: int) -> bool:
+        """Mark a node UP again.  Idempotent like :meth:`fail_node`."""
+        node = self._by_index[index]
+        if node.state is NodeState.UP:
+            return False
         node.state = NodeState.UP
         self.version += 1
         log.info("node %s recovered", node.name)
+        return True
 
     def __repr__(self) -> str:
         return (

@@ -19,10 +19,12 @@ __all__ = [
     "Table2RunSpec",
     "CampaignRunSpec",
     "ScalingRunSpec",
+    "ResilienceRunSpec",
     "run_sweep_row",
     "run_table2_result",
     "run_campaign_row",
     "run_scaling_row",
+    "run_resilience_row",
 ]
 
 
@@ -146,6 +148,53 @@ def run_campaign_row(spec: CampaignRunSpec) -> dict:
         "trace_events": len(system.trace),
         "trace_dropped": system.trace.dropped,
     }
+
+
+# ----------------------------------------------------------------------
+# resilience campaign (ESP under fault injection)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResilienceRunSpec:
+    """One (configuration, fault model) cell of the resilience experiment.
+
+    Carries the full :class:`repro.faults.FaultModel` (frozen, picklable),
+    so the worker needs nothing beyond the spec — parallel runs are
+    bit-identical to serial by the usual exec-engine argument.
+    """
+
+    config_name: str
+    seed: int
+    fault_model: object  # a repro.faults.FaultModel
+    num_nodes: int = 15
+    cores_per_node: int = 8
+
+
+def run_resilience_row(spec: ResilienceRunSpec) -> dict:
+    """Simulate one resilience cell and return its machine-readable row."""
+    from repro.experiments.runner import run_esp_configuration
+
+    run = run_esp_configuration(
+        _configuration(spec.config_name),
+        num_nodes=spec.num_nodes,
+        cores_per_node=spec.cores_per_node,
+        seed=spec.seed,
+        fault_model=spec.fault_model,
+    )
+    m = run.metrics
+    row = {
+        "config": spec.config_name,
+        "seed": spec.seed,
+        "fault_seed": spec.fault_model.seed,
+        "completed": m.completed_jobs,
+        "satisfied": m.satisfied_dyn_jobs,
+        "time_min": m.workload_time_minutes,
+        "util_pct": 100.0 * m.utilization,
+        "throughput": m.throughput_jobs_per_minute,
+        "mean_wait": m.mean_wait,
+    }
+    assert run.resilience is not None
+    row.update(run.resilience)
+    return row
 
 
 # ----------------------------------------------------------------------

@@ -12,6 +12,10 @@ Fig. 10   :func:`repro.experiments.fig10.run_fig10`
 Fig. 11   :func:`repro.experiments.fig11.run_fig11`
 Fig. 12   :func:`repro.experiments.fig12.run_fig12`
 ========  ==========================================================
+
+Beyond the paper's artifacts, :func:`repro.experiments.resilience.run_resilience`
+reruns the Table II configurations under seeded fault injection
+(``repro.faults``); see ``docs/RESILIENCE.md``.
 """
 
 from repro.experiments.configs import (

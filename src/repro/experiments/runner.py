@@ -28,6 +28,9 @@ class ESPResult:
     #: the run's telemetry facade and trace, kept only for instrumented runs
     telemetry: object | None = None
     trace: object | None = None
+    #: fault-injector report (``FaultInjector.report()``) when the run was
+    #: executed under a fault model, else None
+    resilience: dict | None = None
 
     @property
     def name(self) -> str:
@@ -57,12 +60,14 @@ def run_esp_configuration(
     walltime_factor: float = 1.0,
     telemetry=None,
     trace_maxlen: int | None = None,
+    fault_model=None,
 ) -> ESPResult:
     """Simulate the (dynamic) ESP workload under one configuration.
 
     Pass a :class:`repro.obs.Telemetry` to collect live metrics, sampled
     time series and spans for the run; ``trace_maxlen`` bounds the event
-    trace to a ring of that many events.
+    trace to a ring of that many events.  ``fault_model`` runs the
+    workload under seeded fault injection (``repro.faults``).
     """
     system = BatchSystem(
         num_nodes=num_nodes,
@@ -70,6 +75,7 @@ def run_esp_configuration(
         config=configuration.maui,
         telemetry=telemetry,
         trace_maxlen=trace_maxlen,
+        fault_model=fault_model,
     )
     workload = make_esp_workload(
         total_cores=num_nodes * cores_per_node,
@@ -78,7 +84,7 @@ def run_esp_configuration(
         walltime_factor=walltime_factor,
     )
     workload.submit_to(system)
-    system.run(max_events=5_000_000)
+    system.run(max_events=10_000_000 if fault_model is not None else 5_000_000)
     if system.server.queue or system.server.active_count:
         raise RuntimeError(
             f"{configuration.name}: workload did not drain "
@@ -90,6 +96,11 @@ def run_esp_configuration(
         scheduler_stats=dict(system.scheduler.stats),
         telemetry=telemetry,
         trace=system.trace if telemetry is not None else None,
+        resilience=(
+            system.fault_injector.report()
+            if system.fault_injector is not None
+            else None
+        ),
     )
 
 

@@ -1,0 +1,33 @@
+"""Deterministic fault injection and resilience for the batch stack.
+
+The paper motivates dynamic allocation partly as a fault-tolerance
+mechanism — "allocating spare nodes to affected jobs" (Section I).  This
+package makes that claim testable: a seeded failure-trace generator
+(:func:`generate_failure_trace`), an engine component that replays the
+trace against the server (:class:`FaultInjector`), and transient
+grant-delivery faults for the TM layer (:class:`TransientFaults`) with
+bounded retry + exponential backoff in ``repro.rms.server``.
+
+Everything is deterministic by construction: the same
+:class:`FaultModel` seed yields a byte-identical failure trace and, run
+against the same workload seed, a byte-identical schedule — serial or
+under the ``repro.exec`` parallel runner.  A model with no failure
+sources (``mtbf=None`` and zero delivery-failure rate) schedules no
+engine events and attaches no hooks, so the run is bit-identical to one
+without the injector.
+
+See ``docs/RESILIENCE.md`` for the failure model and CLI usage.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultModel
+from repro.faults.trace import FaultEvent, generate_failure_trace
+from repro.faults.transient import TransientFaults
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultModel",
+    "TransientFaults",
+    "generate_failure_trace",
+]

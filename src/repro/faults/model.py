@@ -1,0 +1,102 @@
+"""The failure model: everything a fault campaign needs, in one value.
+
+A :class:`FaultModel` is frozen (hashable, picklable) so it can ride
+inside ``repro.exec`` run specs unchanged — determinism of the parallel
+experiment runner extends to fault campaigns for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FaultModel"]
+
+_DISTRIBUTIONS = ("exponential", "weibull")
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Seeded description of node failures and transient TM faults.
+
+    Node failures: each node independently draws time-between-failures
+    from ``distribution`` with mean ``mtbf`` and repair times from an
+    exponential with mean ``mttr`` (repair processes are memoryless even
+    under Weibull failure clustering).  ``mtbf=None`` disables node
+    failures entirely.  With ``burst_probability`` > 0, a failure takes
+    the next ``burst_size - 1`` nodes (ring order) down at the same
+    instant — correlated failures of the switch/PSU flavour.
+
+    Transient faults: with ``grant_delivery_failure_rate`` > 0, delivery
+    of a dynamic grant to the mother superior can be dropped; the server
+    retries up to ``delivery_max_retries`` times, waiting
+    ``delivery_retry_backoff * 2**(attempt-1)`` seconds before attempt
+    ``attempt+1``, then degrades gracefully (the application continues
+    at its current allocation).
+
+    ``horizon`` bounds *new* failures; every failure is still paired
+    with its recovery (which may land past the horizon) so workloads
+    that need the full machine always drain.
+    """
+
+    seed: int = 0
+    mtbf: float | None = None
+    mttr: float = 900.0
+    distribution: str = "exponential"
+    weibull_shape: float = 1.5
+    burst_probability: float = 0.0
+    burst_size: int = 2
+    horizon: float = 20_000.0
+    grant_delivery_failure_rate: float = 0.0
+    delivery_max_retries: int = 3
+    delivery_retry_backoff: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf is not None and self.mtbf <= 0:
+            raise ValueError(f"mtbf must be positive or None: {self.mtbf}")
+        if self.mttr <= 0:
+            raise ValueError(f"mttr must be positive: {self.mttr}")
+        if self.distribution not in _DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; "
+                f"expected one of {_DISTRIBUTIONS}"
+            )
+        if self.weibull_shape <= 0:
+            raise ValueError(f"weibull_shape must be positive: {self.weibull_shape}")
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ValueError(
+                f"burst_probability must be in [0, 1]: {self.burst_probability}"
+            )
+        if self.burst_size < 2:
+            raise ValueError(f"burst_size must be at least 2: {self.burst_size}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive: {self.horizon}")
+        if not 0.0 <= self.grant_delivery_failure_rate < 1.0:
+            raise ValueError(
+                "grant_delivery_failure_rate must be in [0, 1): "
+                f"{self.grant_delivery_failure_rate}"
+            )
+        if self.delivery_max_retries < 0:
+            raise ValueError(
+                f"delivery_max_retries must be >= 0: {self.delivery_max_retries}"
+            )
+        if self.delivery_retry_backoff <= 0:
+            raise ValueError(
+                f"delivery_retry_backoff must be positive: {self.delivery_retry_backoff}"
+            )
+
+    @property
+    def node_failures_enabled(self) -> bool:
+        return self.mtbf is not None
+
+    @property
+    def transient_faults_enabled(self) -> bool:
+        return self.grant_delivery_failure_rate > 0.0
+
+    @property
+    def enabled(self) -> bool:
+        """Does this model inject *anything*?
+
+        A disabled model is the acceptance baseline: an injector built
+        from it must leave the run bit-identical to no injector at all.
+        """
+        return self.node_failures_enabled or self.transient_faults_enabled

@@ -149,6 +149,7 @@ class MauiScheduler:
                 },
             )
         server.on_state_change = self.request_iteration
+        server.on_node_event = self.handle_node_event
         if self.config.timer_interval is not None:
             self.engine.after(self.config.timer_interval, self._timer_tick)
         for reservation in self.config.admin_reservations:
@@ -178,6 +179,21 @@ class MauiScheduler:
         )
 
     def _forced_wake(self) -> None:
+        self.request_iteration(force=True)
+
+    def handle_node_event(self, node_index: int) -> None:
+        """A node failed or recovered: re-plan on the new node set.
+
+        Reservations (and the boundary wake derived from them) were laid
+        out on the *old* node set — a reservation planned on a node that
+        just died is unservable, and a recovered node may admit an earlier
+        start.  Drop the stale boundary wake and force a full iteration so
+        plans are rebuilt from the surviving nodes immediately.
+        """
+        if self._boundary_wake is not None:
+            self._boundary_wake.cancel()
+            self._boundary_wake = None
+        self._next_reservation_start = None
         self.request_iteration(force=True)
 
     def _run_iteration(self) -> None:

@@ -39,7 +39,19 @@ repro_busy_cores                            gauge       cluster.machine
 repro_ledger_decisions_total{kind}          counter     obs.ledger (per kind)
 repro_ledger_dyn_inflicted_seconds_total    counter     obs.ledger
 repro_ledger_waits_closed_total             counter     obs.ledger
+repro_faults_node_failures_total            counter     faults.injector
+repro_faults_node_recoveries_total          counter     faults.injector
+repro_faults_jobs_requeued_total            counter     faults.injector
+repro_faults_lost_core_seconds_total        counter     faults.injector
+repro_faults_downtime_seconds_total         counter     faults.injector
+repro_faults_delivery_drops_total           counter     faults.transient
+repro_faults_delivery_retries_total         counter     faults.transient
+repro_faults_delivery_degraded_total        counter     faults.transient
 ========================================== =========== ==========================
+
+Like the ledger, the ``repro_faults_delivery_*`` instruments are
+registered by their own consumer (``repro.faults.transient``) — they
+only exist when a fault model enables transient delivery drops.
 
 The ``repro_ledger_*`` instruments are registered by the decision ledger
 itself (``repro.obs.ledger``) rather than by a bundle here — the ledger
@@ -52,7 +64,12 @@ from __future__ import annotations
 from repro.obs.registry import MetricsRegistry
 from repro.obs.telemetry import Telemetry
 
-__all__ = ["ServerInstruments", "SchedulerInstruments", "ClusterInstruments"]
+__all__ = [
+    "ServerInstruments",
+    "SchedulerInstruments",
+    "ClusterInstruments",
+    "FaultInstruments",
+]
 
 
 class ServerInstruments:
@@ -172,6 +189,39 @@ class SchedulerInstruments:
     def end_dyn_handle(self, sim_time: float, wall_ns: int, events: int) -> None:
         self.dyn_handle_seconds.observe(wall_ns / 1e9)
         self.tracer.record("dyn_request", sim_time, wall_ns, events)
+
+
+class FaultInstruments:
+    """Resilience counters fed by the fault injector (repro.faults)."""
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        registry: MetricsRegistry = telemetry.registry
+        self.node_failures = registry.counter(
+            "repro_faults_node_failures_total", "Injected node failures"
+        )
+        self.node_recoveries = registry.counter(
+            "repro_faults_node_recoveries_total", "Injected node recoveries"
+        )
+        self.jobs_requeued = registry.counter(
+            "repro_faults_jobs_requeued_total", "Jobs requeued by injected failures"
+        )
+        self.lost_core_seconds = registry.counter(
+            "repro_faults_lost_core_seconds_total",
+            "Core-seconds of completed work discarded by failure requeues",
+        )
+        self.downtime_seconds = registry.counter(
+            "repro_faults_downtime_seconds_total",
+            "Node-downtime accumulated over completed repairs [s]",
+        )
+
+    def on_failure(self, requeued: int, lost_core_seconds: float) -> None:
+        self.node_failures.inc()
+        self.jobs_requeued.inc(requeued)
+        self.lost_core_seconds.inc(lost_core_seconds)
+
+    def on_recovery(self, downtime: float) -> None:
+        self.node_recoveries.inc()
+        self.downtime_seconds.inc(downtime)
 
 
 class ClusterInstruments:

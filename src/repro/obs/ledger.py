@@ -70,6 +70,7 @@ class DecisionKind(enum.Enum):
     EXTENSION_DENY = "extension_deny"
     THROTTLE_REJECT = "throttle_reject"
     PREEMPTION = "preemption"
+    NODE_FAILURE_REQUEUE = "node_failure_requeue"
 
 
 @dataclass(frozen=True, slots=True)
@@ -137,12 +138,19 @@ class _WaitTimeline:
             self.open = False
         self.started_at = now
 
-    def reopen(self, now: float) -> None:
-        """Preempted at ``now``: count the lost run as ``requeued`` wait."""
+    def reopen(self, now: float, cause: str = "requeued") -> None:
+        """Preempted at ``now``: count the lost run as requeue-flavoured wait.
+
+        ``cause`` names *why* the job was requeued — the generic
+        ``requeued`` for scheduler-initiated preemptions, or
+        ``node_failure_requeued`` when a NODE_FAIL event took the job's
+        allocation down.  Either way the segment telescopes into the same
+        reconciliation sum.
+        """
         if self.started_at is not None:
             dt = now - self.started_at
             if dt > 0:
-                self.segments["requeued"] = self.segments.get("requeued", 0.0) + dt
+                self.segments[cause] = self.segments.get(cause, 0.0) + dt
         self.last_time = now
         self.cause = "queued_behind"
         self.started_at = None
@@ -172,6 +180,11 @@ class DecisionLedger:
         self._reservations: dict[str, float] = {}
         self._throttle_state: dict[str, str] = {}
         self._trace: TraceLog | None = None
+        #: most recent NODE_FAIL still owed PREEMPT correlations:
+        #: (time, node, job ids not yet seen preempting).  The server
+        #: records NODE_FAIL *before* the per-job PREEMPT events, all at
+        #: the same timestamp, so subscription order correlates them.
+        self._node_fail: tuple[float, Any, set[str]] | None = None
         self._registry = registry
         self._kind_counters: dict[DecisionKind, Any] = {}
         self._inflicted_counter = None
@@ -206,10 +219,44 @@ class DecisionLedger:
                 timeline.close(event.time)
                 if self._closed_counter is not None:
                     self._closed_counter.inc()
+        elif kind is EventKind.NODE_FAIL:
+            affected = event.payload.get("affected") or []
+            if affected:
+                self._node_fail = (
+                    event.time,
+                    event.payload.get("node"),
+                    set(affected),
+                )
         elif kind is EventKind.PREEMPT:
-            timeline = self._timelines.get(event.payload["job_id"])
+            job_id = event.payload["job_id"]
+            cause = "requeued"
+            pending = self._node_fail
+            if (
+                pending is not None
+                and pending[0] == event.time
+                and job_id in pending[2]
+            ):
+                # this preemption is the failure fan-out, not a scheduler
+                # decision: attribute the renewed wait to the NODE_FAIL
+                cause = "node_failure_requeued"
+                pending[2].discard(job_id)
+                if not pending[2]:
+                    self._node_fail = None
+            timeline = self._timelines.get(job_id)
             if timeline is not None:
-                timeline.reopen(event.time)
+                if cause == "node_failure_requeued":
+                    lost = (
+                        event.time - timeline.started_at
+                        if timeline.started_at is not None
+                        else 0.0
+                    )
+                    self._record(
+                        DecisionKind.NODE_FAILURE_REQUEUE,
+                        event.time,
+                        job_id,
+                        {"node": pending[1], "lost_seconds": lost},
+                    )
+                timeline.reopen(event.time, cause=cause)
 
     # ------------------------------------------------------------------
     # recording
@@ -459,7 +506,8 @@ class DecisionLedger:
 
         Components: the timeline buckets (``queued_behind``,
         ``reservation_held``, ``backfill_blocked``, ``throttled``, holds,
-        ``dependency_held``, ``requeued``) with the dyn-inflicted total
+        ``dependency_held``, ``requeued``, ``node_failure_requeued``)
+        with the dyn-inflicted total
         carved out in ``_CARVE_ORDER``, plus ``dyn_inflicted[grant_id]``
         entries echoing the grant-time measurements, plus a signed
         ``plan_drift`` correction when the measured plan delay exceeds the

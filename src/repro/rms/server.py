@@ -23,6 +23,7 @@ from typing import Callable, Protocol
 
 from repro.cluster.allocation import Allocation, ResourceRequest
 from repro.cluster.machine import Cluster
+from repro.cluster.node import NodeState
 from repro.jobs.job import Job, JobState
 from repro.jobs.queue import DynRequest, JobQueue
 from repro.rms.mom import MomManager
@@ -91,6 +92,20 @@ class Server:
         #: invoked (coalesced by the scheduler) whenever job/resource state
         #: changes — the Maui wake-up condition (i) of Section III-A.
         self.on_state_change: Callable[[], None] | None = None
+        #: invoked with the node index after a node actually fails or
+        #: recovers — the scheduler re-plans reservations laid on the old
+        #: node set (repro.faults drives these transitions)
+        self.on_node_event: Callable[[int], None] | None = None
+        #: optional transient-failure hooks (:mod:`repro.faults`); None
+        #: keeps the grant-delivery path a single attribute-is-None check
+        self._faults = None
+        #: in-flight grant deliveries awaiting a retry after a transient
+        #: delivery failure, keyed by job id (one pending dreq per job)
+        self._pending_deliveries: dict[str, tuple[EventHandle, DynRequest, Allocation, int]] = {}
+
+    def attach_faults(self, faults) -> None:
+        """Install transient-failure hooks (``repro.faults.TransientFaults``)."""
+        self._faults = faults
 
     # ------------------------------------------------------------------
     def _notify(self) -> None:
@@ -307,6 +322,7 @@ class Server:
         # a pending dynamic request dies with the job
         for dreq in [d for d in self.dyn_queue if d.job is job]:
             self.dyn_queue.remove(dreq)
+        self._cancel_pending_delivery(job, resolve=False)
         limit = self._walltime_limits.pop(job.job_id, None)
         if limit is not None:
             limit.cancel()
@@ -488,12 +504,29 @@ class Server:
         self.reject_dynamic(dreq, "negotiation timeout")
 
     def grant_dynamic(self, dreq: DynRequest, allocation: Allocation) -> None:
-        """Expand the job's allocation (scheduler decided the request is fair)."""
-        job = dreq.job
+        """Expand the job's allocation (scheduler decided the request is fair).
+
+        With transient faults attached (:meth:`attach_faults`) the delivery
+        of the grant to the mother superior can be dropped; the server then
+        retries with exponential backoff (the cores are *not* held across
+        the backoff — a retry re-claims and may find the allocation stale)
+        and, after exhausting the retry budget, degrades gracefully: the
+        application continues at its current allocation, exactly as on a
+        rejection.  Without faults this is the single historical code path.
+        """
         if dreq not in self.dyn_queue:
             raise RuntimeError(f"{dreq!r} is not pending")
-        self.cluster.claim(allocation)
         self.dyn_queue.remove(dreq)
+        faults = self._faults
+        if faults is not None and faults.drop_delivery(dreq.job.job_id, 1):
+            self._delivery_failed(dreq, allocation, attempt=1, reason="delivery dropped")
+            return
+        self._deliver_grant(dreq, allocation)
+
+    def _deliver_grant(self, dreq: DynRequest, allocation: Allocation) -> None:
+        """Actually hand the expanded allocation to the job (may raise)."""
+        job = dreq.job
+        self.cluster.claim(allocation)
         self.moms.dyn_join(job, allocation)
         assert job.allocation is not None
         job.allocation = job.allocation + allocation
@@ -519,6 +552,103 @@ class Server:
             obs.update_depths(self)
         dreq.resolve(allocation)
         self._notify()
+
+    def _delivery_failed(
+        self, dreq: DynRequest, allocation: Allocation, *, attempt: int, reason: str
+    ) -> None:
+        """A grant delivery attempt failed: schedule a retry or degrade."""
+        job = dreq.job
+        self.trace.record(
+            self.engine.now,
+            EventKind.GRANT_DELIVERY_FAIL,
+            job_id=job.job_id,
+            user=job.user,
+            cores=allocation.total_cores,
+            nodes=list(allocation.node_indices),
+            attempt=attempt,
+            reason=reason,
+        )
+        log.warning("grant delivery to %s failed (attempt %d): %s",
+                    job.job_id, attempt, reason)
+        faults = self._faults
+        if faults is None or attempt > faults.max_retries:
+            self._degrade_delivery(dreq, attempts=attempt, reason=reason)
+            return
+        faults.note_retry()
+        delay = faults.retry_delay(attempt)
+        handle = self.engine.after(
+            delay, self._retry_delivery, dreq, allocation, attempt + 1
+        )
+        self._pending_deliveries[job.job_id] = (handle, dreq, allocation, attempt)
+
+    def _retry_delivery(
+        self, dreq: DynRequest, allocation: Allocation, attempt: int
+    ) -> None:
+        job = dreq.job
+        self._pending_deliveries.pop(job.job_id, None)
+        if dreq.resolved:
+            # cancelled while the retry was in flight (preemption, teardown,
+            # or the node-failure audit already settled this request)
+            return
+        faults = self._faults
+        if faults is not None and faults.drop_delivery(job.job_id, attempt):
+            self._delivery_failed(dreq, allocation, attempt=attempt, reason="delivery dropped")
+            return
+        try:
+            self._deliver_grant(dreq, allocation)
+        except ValueError as exc:
+            # the allocation went stale during the backoff — a node failed
+            # or the cores were claimed by someone else.  Counts as a
+            # failed attempt; the retry budget keeps this bounded.
+            self._delivery_failed(dreq, allocation, attempt=attempt, reason=str(exc))
+
+    def _degrade_delivery(self, dreq: DynRequest, *, attempts: int, reason: str) -> None:
+        """Retry budget exhausted: fail the request cleanly.
+
+        Graceful degradation (paper Section I's fault-tolerance motivation):
+        the application sees an ordinary rejection and continues at its
+        current allocation.
+        """
+        job = dreq.job
+        faults = self._faults
+        if faults is not None:
+            faults.note_degraded()
+        job.dyn_rejected += 1
+        if job.state is JobState.DYNQUEUED:
+            job.state = JobState.RUNNING
+        self.trace.record(
+            self.engine.now,
+            EventKind.DYN_REJECT,
+            job_id=job.job_id,
+            user=job.user,
+            request=str(dreq.request),
+            reason=f"grant delivery failed after {attempts} attempt(s): {reason}",
+        )
+        log.info("dyn_grant to %s degraded after %d attempt(s)", job.job_id, attempts)
+        obs = self._obs
+        if obs is not None:
+            obs.dyn_rejects.inc()
+            obs.update_depths(self)
+        if not dreq.resolved:
+            dreq.resolve(None)
+        self._notify()
+
+    def _cancel_pending_delivery(self, job: Job, *, resolve: bool) -> None:
+        """Drop an in-flight delivery retry when its job leaves RUNNING.
+
+        The owning job is being requeued or torn down: the retry timer must
+        not fire a grant at a dead allocation.  ``resolve`` delivers a clean
+        rejection to the (old) application callback — used on preemption,
+        matching how pending ``dyn_queue`` entries are handled there — while
+        teardown drops the request silently, like :meth:`_teardown` does.
+        """
+        pending = self._pending_deliveries.pop(job.job_id, None)
+        if pending is None:
+            return
+        handle, dreq, _allocation, _attempt = pending
+        handle.cancel()
+        if resolve and not dreq.resolved:
+            dreq.resolve(None)
 
     def reject_dynamic(self, dreq: DynRequest, reason: str = "") -> None:
         """Reject the request; the application continues on its current set."""
@@ -676,7 +806,13 @@ class Server:
         tolerance "by allocating spare nodes to affected jobs" (Section I);
         here affected jobs are requeued and the scheduler restarts them on
         the surviving nodes at the next iteration.
+
+        Idempotent: a repeat failure report for a node that is already DOWN
+        is a no-op — no trace event, no state-version bump, no scheduler
+        wake-up.
         """
+        if self.cluster.node(node_index).state is NodeState.DOWN:
+            return []
         affected = [
             j
             for j in self.active_jobs()
@@ -689,7 +825,23 @@ class Server:
             affected=[j.job_id for j in affected],
         )
         log.warning("node %d failed; %d job(s) affected", node_index, len(affected))
-        # release every affected job first so the node is fully idle
+        # audit in-flight grant deliveries first: a retry holding an
+        # allocation that touches the dead node can never succeed, and its
+        # owner may not itself be an affected job — fail those cleanly now
+        # rather than letting the timer burn the rest of its retry budget
+        for job_id, pending in list(self._pending_deliveries.items()):
+            handle, pdreq, pallocation, attempt = pending
+            if node_index not in pallocation:
+                continue
+            del self._pending_deliveries[job_id]
+            handle.cancel()
+            if not pdreq.resolved:
+                self._degrade_delivery(
+                    pdreq,
+                    attempts=attempt,
+                    reason=f"node {node_index} failed during delivery",
+                )
+        # release every affected job so the node is fully idle
         for job in affected:
             if requeue:
                 self.preempt_job(job)
@@ -697,14 +849,25 @@ class Server:
             else:
                 self.abort_job(job, reason=f"node {node_index} failed")
         self.cluster.fail_node(node_index)
+        if self.on_node_event is not None:
+            self.on_node_event(node_index)
         self._notify()
         return affected
 
-    def recover_node(self, node_index: int) -> None:
-        """The node is back: make it schedulable again."""
-        self.cluster.recover_node(node_index)
+    def recover_node(self, node_index: int) -> bool:
+        """The node is back: make it schedulable again.
+
+        Idempotent: recovering a node that is already UP is a no-op (no
+        trace event, no scheduler wake-up).  Returns True when the node
+        actually transitioned.
+        """
+        if not self.cluster.recover_node(node_index):
+            return False
         self.trace.record(self.engine.now, EventKind.NODE_RECOVER, node=node_index)
+        if self.on_node_event is not None:
+            self.on_node_event(node_index)
         self._notify()
+        return True
 
     # ------------------------------------------------------------------
     # preemption (optional source of resources for dynamic requests)
@@ -732,6 +895,7 @@ class Server:
         for dreq in [d for d in self.dyn_queue if d.job is job]:
             self.dyn_queue.remove(dreq)
             dreq.resolve(None)
+        self._cancel_pending_delivery(job, resolve=True)
         limit = self._walltime_limits.pop(job.job_id, None)
         if limit is not None:
             limit.cancel()

@@ -39,6 +39,9 @@ class EventKind(enum.Enum):
     DFS_INTERVAL_ROLL = "dfs_interval_roll"
     NODE_FAIL = "node_fail"
     NODE_RECOVER = "node_recover"
+    # transient fault in the TM layer: a granted allocation could not be
+    # delivered to the mother superior (repro.faults); retried with backoff
+    GRANT_DELIVERY_FAIL = "grant_delivery_fail"
     # paths that previously left no observation behind
     WALLTIME_EXTENSION_GRANT = "walltime_extension_grant"
     WALLTIME_EXTENSION_DENY = "walltime_extension_deny"

@@ -47,6 +47,7 @@ class BatchSystem:
         start_time: float = 0.0,
         telemetry=None,
         trace_maxlen: int | None = None,
+        fault_model=None,
     ) -> None:
         self.engine = Engine(start_time=start_time)
         if cluster is None:
@@ -73,6 +74,14 @@ class BatchSystem:
             self.engine, self.cluster, self.trace, telemetry=telemetry
         )
         self.scheduler = MauiScheduler(self.engine, self.cluster, self.server, config)
+        #: optional :class:`repro.faults.FaultInjector`; built last so the
+        #: failure trace replays against the fully wired stack.  A model
+        #: that injects nothing leaves the run bit-identical to no model.
+        self.fault_injector = None
+        if fault_model is not None:
+            from repro.faults import FaultInjector
+
+            self.fault_injector = FaultInjector(self, fault_model)
 
     @property
     def config(self) -> MauiConfig:

@@ -149,6 +149,41 @@ class TestFailures:
         small_cluster.recover_node(1)
         assert small_cluster.up_cores == 32
 
+    def test_transitions_report_state_change(self, small_cluster):
+        assert small_cluster.fail_node(1) is True
+        assert small_cluster.recover_node(1) is True
+
+    def test_repeat_fail_is_noop(self, small_cluster):
+        """Failing a DOWN node must not bump ``version``.
+
+        A spurious bump invalidates the scheduler's availability-profile
+        cache and defeats its quiescence fingerprint — repeat transition
+        reports (e.g. a flapping health check) would silently disable
+        both optimisations.
+        """
+        small_cluster.fail_node(1)
+        version = small_cluster.version
+        assert small_cluster.fail_node(1) is False
+        assert small_cluster.version == version
+        assert small_cluster.up_cores == 24
+
+    def test_repeat_recover_is_noop(self, small_cluster):
+        version = small_cluster.version
+        assert small_cluster.recover_node(1) is False  # already UP
+        assert small_cluster.version == version
+        small_cluster.fail_node(1)
+        small_cluster.recover_node(1)
+        version = small_cluster.version
+        assert small_cluster.recover_node(1) is False
+        assert small_cluster.version == version
+
+    def test_real_transitions_still_bump_version(self, small_cluster):
+        version = small_cluster.version
+        small_cluster.fail_node(2)
+        assert small_cluster.version == version + 1
+        small_cluster.recover_node(2)
+        assert small_cluster.version == version + 2
+
 
 @given(
     st.lists(

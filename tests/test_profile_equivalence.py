@@ -6,8 +6,9 @@ The vectorized matrix kernel in :mod:`repro.cluster.profile` must be
 vectors, same fit decisions, same ``(start, allocation)`` pairs, and the
 same exceptions on the same inputs (including the atomicity of rejected
 mutations).  This suite drives both implementations through thousands of
-randomized interleaved operation sequences and compares them after every
-single step.
+randomized interleaved operation sequences — including node fail/recover
+churn, which the profile sees as infinite-horizon claims and their later
+releases — and compares them after every single step.
 """
 
 from __future__ import annotations
@@ -57,6 +58,51 @@ def random_duration(rng: random.Random) -> float:
     return rng.choice([1.0, 7.0, 25.0, 60.0, 240.0])
 
 
+def fail_node_op(rng, new, ref, now, horizon, downed, nodes) -> None:
+    """Take one node DOWN inside the profile horizon.
+
+    A failed node is, from the profile's point of view, exactly a claim of
+    its remaining free cores until infinity — that is how the scheduler's
+    plans see a node that left: zero availability from the failure on.
+    """
+    candidates = [n for n in nodes if n not in downed]
+    if not candidates:
+        return
+    node = rng.choice(candidates)
+    t = now + rng.uniform(0, horizon)
+    probe_times = [bp for bp in new.breakpoints if bp >= t] + [t]
+    cores = min(new.free_at(x)[node] for x in probe_times)
+    if cores <= 0:
+        return  # nothing claimable: the node is already fully busy somewhere
+    new.add_claim(t, math.inf, Allocation({node: cores}))
+    ref.add_claim(t, math.inf, Allocation({node: cores}))
+    downed[node] = (t, cores)
+
+
+def recover_node_op(rng, new, ref, horizon, downed) -> None:
+    """Bring a DOWN node back: release what the failure claimed.
+
+    Unrelated release ops may have raised the node's free level since the
+    failure, so the recovery can exceed capacity — in which case both
+    implementations must reject it identically (and the node stays down).
+    """
+    if not downed:
+        return
+    node = rng.choice(sorted(downed))
+    t_fail, cores = downed.pop(node)
+    t = t_fail + rng.uniform(0, horizon)
+    err_new = err_ref = None
+    try:
+        new.add_release(t, Allocation({node: cores}))
+    except ValueError as e:
+        err_new = str(e)
+    try:
+        ref.add_release(t, Allocation({node: cores}))
+    except ValueError as e:
+        err_ref = str(e)
+    assert err_new == err_ref
+
+
 def run_sequence(rng: random.Random) -> None:
     num_nodes = rng.randint(1, 8)
     cores_per_node = rng.randint(1, 16)
@@ -71,10 +117,12 @@ def run_sequence(rng: random.Random) -> None:
     ref = ReferenceAvailabilityProfile(nodes, free, now, capacity)
     assert_profiles_equal(new, ref)
 
+    #: nodes currently DOWN in this sequence: node -> (fail time, cores)
+    downed: dict[int, tuple[float, int]] = {}
     horizon = 300.0
     for _ in range(OPS_PER_SEQUENCE):
         op = rng.random()
-        if op < 0.30:  # claim (exercises both success and rollback paths)
+        if op < 0.26:  # claim (exercises both success and rollback paths)
             start = now + rng.uniform(0, horizon)
             end = math.inf if rng.random() < 0.1 else start + random_duration(rng)
             alloc = random_allocation(rng, nodes, cores_per_node)
@@ -88,7 +136,7 @@ def run_sequence(rng: random.Random) -> None:
             except ValueError as e:
                 err_ref = str(e)
             assert err_new == err_ref
-        elif op < 0.50:  # release (exercises the atomic capacity check)
+        elif op < 0.44:  # release (exercises the atomic capacity check)
             t = now + rng.uniform(0, horizon)
             alloc = random_allocation(rng, nodes, cores_per_node)
             err_new = err_ref = None
@@ -101,14 +149,14 @@ def run_sequence(rng: random.Random) -> None:
             except ValueError as e:
                 err_ref = str(e)
             assert err_new == err_ref
-        elif op < 0.70:  # fits_at
+        elif op < 0.62:  # fits_at
             start = now + rng.uniform(0, horizon)
             duration = random_duration(rng)
             request = random_request(rng, num_nodes, cores_per_node)
             assert new.fits_at(start, duration, request) == ref.fits_at(
                 start, duration, request
             )
-        elif op < 0.90:  # earliest_fit
+        elif op < 0.80:  # earliest_fit
             duration = random_duration(rng)
             request = random_request(rng, num_nodes, cores_per_node)
             after = (
@@ -124,6 +172,10 @@ def run_sequence(rng: random.Random) -> None:
             except NoFitError:
                 pass
             assert got_new == got_ref
+        elif op < 0.88:  # node failure: churn nodes out of the profile
+            fail_node_op(rng, new, ref, now, horizon, downed, nodes)
+        elif op < 0.96:  # node recovery: churn them back in
+            recover_node_op(rng, new, ref, horizon, downed)
         else:  # copy: keep working on the clones, originals must not move
             before = (new.breakpoints, {t: new.free_at(t) for t in new.breakpoints})
             new2, ref2 = new.copy(), ref.copy()
