@@ -224,6 +224,61 @@ def test_ledger_disabled_overhead_within_five_percent():
 
 
 # ----------------------------------------------------------------------
+# phase-profiler + windows overhead (same contract, profiler absent)
+# ----------------------------------------------------------------------
+def test_profiler_absent_overhead_within_five_percent():
+    """Profiler and windows off: every hook site is one is-None check.
+
+    A profiling-enabled run counts the begin/end pairs the instrumentation
+    would execute; each pair corresponds to at most two disabled-path
+    checks (the ``prof is None`` gate at the begin site and, where the end
+    sits in a separate branch, one more).  Charged at 4x per pair to stay
+    generous, plus one windows check per trace-recorded lifecycle event
+    (the fold/queue-depth hooks on the server).
+    """
+    telemetry = Telemetry(sample_interval=None, profiling=True, windows=600.0)
+    result = _run(telemetry=telemetry)
+    phase_pairs = telemetry.profiler.total_phase_count()
+    hooks = 4 * phase_pairs + 2 * result.trace.total_recorded
+    per_check = _per_check_cost_seconds()
+    start = timeit.default_timer()
+    _run()
+    disabled_runtime = timeit.default_timer() - start
+
+    overhead = hooks * per_check
+    budget = 0.05 * disabled_runtime
+    record_bench(
+        "perf",
+        "profiler_absent_bound",
+        hook_checks=hooks,
+        phase_pairs=phase_pairs,
+        per_check_ns=per_check * 1e9,
+        overhead_ms=overhead * 1e3,
+        budget_ms=budget * 1e3,
+        headroom=budget / overhead,
+    )
+    register_report(
+        "Phase-profiler overhead — profiler-absent bound (5 % budget)",
+        "\n".join(
+            [
+                f"  profiler hook checks per run: {hooks:>12,d}",
+                f"  (from {phase_pairs:,d} begin/end pairs when enabled)",
+                f"  cost per is-None check      : {per_check * 1e9:>12.1f} ns",
+                f"  worst-case absent overhead  : {overhead * 1e3:>12.3f} ms",
+                f"  disabled run wall time      : {disabled_runtime * 1e3:>12.1f} ms",
+                f"  5% budget                   : {budget * 1e3:>12.1f} ms",
+                f"  headroom                    : {budget / overhead:>12.1f}x",
+            ]
+        ),
+    )
+    assert overhead < budget, (
+        f"{hooks} profiler hook checks x {per_check * 1e9:.1f} ns = "
+        f"{overhead * 1e3:.3f} ms exceeds 5% of the "
+        f"{disabled_runtime * 1e3:.1f} ms disabled run"
+    )
+
+
+# ----------------------------------------------------------------------
 # fault-injection overhead (same contract, injector absent)
 # ----------------------------------------------------------------------
 def test_faults_absent_overhead_within_five_percent():

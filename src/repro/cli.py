@@ -11,6 +11,9 @@ Usage::
     repro-batchsim why [--job ID]                # per-job delay attribution
     repro-batchsim resilience [--mtbf S] [--mttr S] [--fault-seed N]
                               [--delivery-failure-rate P] [--out DIR] [-j N]
+    repro-batchsim perf-report [--phases FILE] [--windows FILE]
+    repro-batchsim bench-trend --baseline FILE --current FILE
+                               [--tolerance F] [--fail-on-regress]
     repro-batchsim all
 
 ``resilience`` (and ``table2 --faults``) reruns the Table II
@@ -35,6 +38,15 @@ decision ledger enabled: ``ledger`` prints the verdict summary and tail,
 ``why`` explains one job (``--job``, default: the job dynamic grants
 delayed the most) — its wait decomposed into attributed components plus
 every decision that causally touched it.
+
+``perf-report`` renders the performance observatory: the phase-profiler
+tree (where scheduler iterations spend their wall-clock) and the windowed
+streaming aggregates.  Given ``--phases``/``--windows`` JSONL dumps (from
+``table2 --telemetry-out DIR --profile``) it reports offline; otherwise it
+runs Dyn-HP once with profiling enabled.  ``bench-trend`` diffs a
+``BENCH_*.json`` snapshot against a committed baseline within a relative
+tolerance band (the CI perf-regression gate).  ``metrics --windows FILE``
+additionally prints whole-run percentile rows from a windows dump.
 """
 
 from __future__ import annotations
@@ -98,17 +110,21 @@ def _cmd_table2(args) -> str:
         return render_resilience(
             rows, title="Table II configurations under failure injection"
         )
-    if getattr(args, "telemetry_out", None):
+    if getattr(args, "telemetry_out", None) or getattr(args, "profile", False):
         from repro.experiments.table2 import run_table2_instrumented
 
         results = run_table2_instrumented(
             seed=args.seed,
             out_dir=args.telemetry_out,
             decision_ledger=args.ledger,
+            profile=args.profile,
+            window_width=args.window_width,
         )
+        if args.telemetry_out is None:
+            return render_table2(results)
         suffixes = ".trace.jsonl and .metrics.prom" + (
             " and .ledger.jsonl" if args.ledger else ""
-        )
+        ) + (" and .phases.jsonl and .windows.jsonl" if args.profile else "")
         return (
             render_table2(results)
             + f"\n\ntelemetry written to {args.telemetry_out}/<config>{suffixes}"
@@ -296,6 +312,21 @@ def _cmd_metrics(args) -> str:
     from repro.obs import to_prometheus_text
     from repro.obs.console import render_ledger_table
 
+    if args.windows:
+        # offline mode: percentile rows from a windowed-aggregates dump
+        from repro.obs.console import render_window_percentiles, render_window_table
+        from repro.obs.windows import read_windows_jsonl
+
+        with open(args.windows) as fp:
+            dump = read_windows_jsonl(fp)
+        return "\n".join(
+            [
+                f"windowed metrics dump {args.windows}:",
+                render_window_percentiles(dump["totals"]),
+                "",
+                render_window_table(dump["windows"]),
+            ]
+        )
     result = _instrumented_dyn_hp(args.seed, args.sample_interval, args.trace_maxlen)
     telemetry = result.telemetry
     ledger = {}
@@ -313,6 +344,96 @@ def _cmd_metrics(args) -> str:
             telemetry.tracer.render_summary(),
         ]
     )
+
+
+def _cmd_perf_report(args) -> str:
+    from repro.obs.console import (
+        render_phase_tree,
+        render_window_percentiles,
+        render_window_table,
+    )
+
+    sections: list[str] = []
+    if args.phases or args.windows:
+        if args.phases:
+            from repro.obs.perf import (
+                aggregate_phase_records,
+                read_phases_jsonl,
+                stats_tree,
+            )
+
+            with open(args.phases) as fp:
+                records = read_phases_jsonl(fp)
+            sections.append(
+                f"phase breakdown ({len(records)} records from {args.phases}):"
+            )
+            sections.append(render_phase_tree(stats_tree(aggregate_phase_records(records))))
+        if args.windows:
+            from repro.obs.windows import read_windows_jsonl
+
+            with open(args.windows) as fp:
+                dump = read_windows_jsonl(fp)
+            if sections:
+                sections.append("")
+            sections.append(render_window_percentiles(dump["totals"]))
+            sections.append("")
+            sections.append(
+                render_window_table(
+                    dump["windows"], title=f"windowed aggregates ({args.windows}):"
+                )
+            )
+        return "\n".join(sections)
+    # live mode: one profiled Dyn-HP run
+    from repro.experiments.configs import all_configurations
+    from repro.experiments.runner import run_esp_configuration
+    from repro.obs import Telemetry
+
+    configuration = next(c for c in all_configurations() if c.name == "Dyn-HP")
+    telemetry = Telemetry(profiling=True, windows=args.window_width)
+    run_esp_configuration(configuration, seed=args.seed, telemetry=telemetry)
+    prof = telemetry.profiler
+    windows = telemetry.windows
+    coverage = prof.child_coverage(("engine_dispatch", "sched_iteration"))
+    return "\n".join(
+        [
+            f"Dyn-HP ESP run (seed {args.seed}) — phase profile "
+            f"({prof.total_phase_count()} phases recorded):",
+            render_phase_tree(prof.tree()),
+            f"  direct children cover {coverage:.1%} of sched_iteration wall time",
+            "",
+            render_window_percentiles(windows.totals_dict()),
+            "",
+            render_window_table(
+                [f.to_dict(windows.total_cores) for f in windows.frames],
+                title=f"windowed aggregates ({args.window_width:.0f}s tumbling):",
+            ),
+        ]
+    )
+
+
+def _cmd_bench_trend(args) -> str:
+    from repro.obs.benchtrend import (
+        diff_snapshots,
+        load_snapshot,
+        regressions,
+        render_trend,
+    )
+
+    if not args.baseline or not args.current:
+        raise SystemExit("bench-trend requires --baseline FILE and --current FILE")
+    rows = diff_snapshots(
+        load_snapshot(args.baseline),
+        load_snapshot(args.current),
+        tolerance=args.tolerance,
+    )
+    out = (
+        f"bench trend: {args.current} vs baseline {args.baseline}\n"
+        + render_trend(rows, tolerance=args.tolerance)
+    )
+    if args.fail_on_regress and regressions(rows):
+        print(out)
+        raise SystemExit(1)
+    return out
 
 
 def _cmd_ledger(args) -> str:
@@ -380,6 +501,8 @@ _COMMANDS = {
     "ledger": _cmd_ledger,
     "why": _cmd_why,
     "resilience": _cmd_resilience,
+    "perf-report": _cmd_perf_report,
+    "bench-trend": _cmd_bench_trend,
 }
 
 
@@ -531,6 +654,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="resilience only: write machine-readable resilience.json to DIR",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "table2: enable the phase profiler + windowed aggregates "
+            "(--telemetry-out also dumps <config>.phases.jsonl and "
+            "<config>.windows.jsonl)"
+        ),
+    )
+    parser.add_argument(
+        "--window-width",
+        type=_positive_float,
+        default=600.0,
+        metavar="S",
+        help="perf-report/table2 --profile: tumbling window width in sim "
+        "seconds (default 600)",
+    )
+    parser.add_argument(
+        "--phases",
+        default=None,
+        metavar="FILE",
+        help="perf-report: phase-trace JSONL dump to analyse offline",
+    )
+    parser.add_argument(
+        "--windows",
+        default=None,
+        metavar="FILE",
+        help="perf-report/metrics: windowed-aggregates JSONL dump to render",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="bench-trend: committed baseline BENCH_*.json",
+    )
+    parser.add_argument(
+        "--current",
+        default=None,
+        metavar="FILE",
+        help="bench-trend: freshly generated BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=_positive_float,
+        default=0.5,
+        help="bench-trend: relative tolerance band (default 0.5)",
+    )
+    parser.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="bench-trend: exit 1 when a directional metric regressed",
+    )
+    parser.add_argument(
         "--num-jobs",
         type=_positive_int,
         default=200,
@@ -561,7 +736,11 @@ def _configure_logging(verbosity: int) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(args.verbose)
-    names = list(_COMMANDS) if args.artifact == "all" else [args.artifact]
+    if args.artifact == "all":
+        # bench-trend needs explicit snapshot paths; everything else renders
+        names = [n for n in _COMMANDS if n != "bench-trend"]
+    else:
+        names = [args.artifact]
     for i, name in enumerate(names):
         if i:
             print("\n" + "=" * 72 + "\n")

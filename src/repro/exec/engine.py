@@ -127,8 +127,23 @@ def map_specs(
         if telemetry is not None
         else None
     )
+    # phase profiling: the serial path times each spec (exec_worker); the
+    # parallel path only times the whole map (exec_map) — worker processes
+    # cannot share the parent's profiler, and per-future wall time would
+    # double-count overlapping workers anyway
+    profiler = getattr(telemetry, "profiler", None)
     if workers == 1 or len(spec_list) <= 1:
-        return _run_serial(fn, spec_list, progress)
+        return _run_serial(fn, spec_list, progress, profiler)
+    if profiler is not None:
+        profiler.begin("exec_map")
+    try:
+        return _run_pool(fn, spec_list, progress, workers, telemetry, label)
+    finally:
+        if profiler is not None:
+            profiler.end()
+
+
+def _run_pool(fn, spec_list, progress, workers, telemetry, label) -> list:
     try:
         executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
     except (OSError, PermissionError) as exc:  # pragma: no cover - env specific
@@ -153,10 +168,22 @@ def map_specs(
         return _run_serial(fn, spec_list, progress)
 
 
-def _run_serial(fn, spec_list, progress) -> list:
+def _run_serial(fn, spec_list, progress, profiler=None) -> list:
     results = []
-    for spec in spec_list:
-        results.append(fn(spec))
-        if progress is not None:
-            progress.advance()
+    if profiler is not None:
+        profiler.begin("exec_map")
+    try:
+        for spec in spec_list:
+            if profiler is not None:
+                profiler.begin("exec_worker")
+            try:
+                results.append(fn(spec))
+            finally:
+                if profiler is not None:
+                    profiler.end()
+            if progress is not None:
+                progress.advance()
+    finally:
+        if profiler is not None:
+            profiler.end()
     return results

@@ -44,6 +44,8 @@ def run_table2_instrumented(
     out_dir: str | Path | None = None,
     *,
     decision_ledger: bool = False,
+    profile: bool = False,
+    window_width: float = 600.0,
 ) -> list[ESPResult]:
     """Table II with full telemetry: fresh runs, one Telemetry each.
 
@@ -53,13 +55,21 @@ def run_table2_instrumented(
     ``decision_ledger=True`` the scheduler's causal decision ledger is
     recorded too and dumped as ``<config>.ledger.jsonl`` — deterministic
     per (config, seed), so two runs produce byte-identical files (the CI
-    golden-ledger check relies on this).
+    golden-ledger check relies on this).  With ``profile=True`` the phase
+    profiler and windowed aggregates run too, dumped as
+    ``<config>.phases.jsonl`` and ``<config>.windows.jsonl``
+    (``window_width`` sim-seconds per tumbling window); both are readable
+    by the ``perf-report`` subcommand.
     """
     from repro.obs import Telemetry, export_jsonl, to_prometheus_text
 
     results = []
     for cfg in all_configurations():
-        telemetry = Telemetry(decision_ledger=decision_ledger)
+        telemetry = Telemetry(
+            decision_ledger=decision_ledger,
+            profiling=profile,
+            windows=window_width if profile else None,
+        )
         result = run_esp_configuration(cfg, seed=seed, telemetry=telemetry)
         results.append(result)
         if out_dir is not None:
@@ -71,6 +81,12 @@ def run_table2_instrumented(
             )
             if telemetry.ledger is not None:
                 telemetry.ledger.export_jsonl(out / f"{cfg.name}.ledger.jsonl")
+            if telemetry.profiler is not None:
+                with open(out / f"{cfg.name}.phases.jsonl", "w") as fp:
+                    telemetry.profiler.export_phases_jsonl(fp)
+            if telemetry.windows is not None:
+                with open(out / f"{cfg.name}.windows.jsonl", "w") as fp:
+                    telemetry.windows.export_jsonl(fp)
     return results
 
 

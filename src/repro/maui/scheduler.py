@@ -23,7 +23,6 @@ paper's "Static" baseline configuration.
 from __future__ import annotations
 
 import logging
-import time as _time
 
 from repro.cluster.allocation import Allocation
 from repro.cluster.machine import Cluster
@@ -37,6 +36,7 @@ from repro.maui.partition import find_dynamic_allocation, static_partitions
 from repro.maui.preemption import plan_preemption
 from repro.maui.priority import FairshareTracker, Prioritizer
 from repro.maui.reservations import StaticPlan, plan_static
+from repro.obs.clock import perf_ns as _perf_ns
 from repro.rms.server import Server
 from repro.sim.engine import Engine, PRIORITY_SCHEDULER
 from repro.sim.events import EventKind
@@ -69,11 +69,15 @@ class MauiScheduler:
         #: optional :class:`repro.obs.ledger.DecisionLedger`; None keeps
         #: every ledger hook a single attribute-is-None check (off path)
         self._ledger = None
+        #: optional :class:`repro.obs.perf.PhaseProfiler`; same discipline —
+        #: every phase hook on the disabled path is one is-None check
+        self._prof = None
         if self.telemetry is not None and self.telemetry.enabled:
             from repro.obs.instruments import SchedulerInstruments
 
             self._obs = SchedulerInstruments(self.telemetry)
             self._ledger = getattr(self.telemetry, "ledger", None)
+            self._prof = getattr(self.telemetry, "profiler", None)
         self.fairshare = FairshareTracker(
             self.config.weights.fairshare_interval,
             self.config.weights.fairshare_decay,
@@ -261,6 +265,18 @@ class MauiScheduler:
         hit hands out a :meth:`~AvailabilityProfile.copy` because every
         caller mutates its working profile with hypothetical claims.
         """
+        prof = self._prof
+        if prof is None:
+            return self._build_profile_cached(partitions)
+        prof.begin("profile_build")
+        try:
+            return self._build_profile_cached(partitions)
+        finally:
+            prof.end()
+
+    def _build_profile_cached(
+        self, partitions: tuple[str, ...] | None
+    ) -> AvailabilityProfile:
         if not self.profile_cache_enabled:
             self.stats["profile_builds"] += 1
             return self._build_profile_uncached(partitions)
@@ -324,9 +340,12 @@ class MauiScheduler:
         """One full scheduling cycle (Algorithm 2; Algorithm 1 if static)."""
         obs = self._obs
         if obs is not None:
-            wall_start_ns = _time.perf_counter_ns()
+            wall_start_ns = _perf_ns()
             events_before = self.trace.total_recorded
         now = self.engine.now
+        prof = self._prof
+        if prof is not None:
+            prof.begin("sched_iteration", sim_time=now)
         self.stats["iterations"] += 1
         # fingerprint taken *before* the pass: an iteration that starts,
         # grants or preempts anything bumps the version counters past this
@@ -349,7 +368,11 @@ class MauiScheduler:
         exclusions: dict[str, tuple[str, str | None]] | None = (
             {} if ledger is not None else None
         )
+        if prof is not None:
+            prof.begin("prioritize")
         ordered = self._eligible_static(now, exclusions=exclusions)
+        if prof is not None:
+            prof.end()
         lockdown = self.server.queue.has_top_priority_job
         outcome: dict[str, tuple[str, str | None]] | None = (
             {} if ledger is not None else None
@@ -376,12 +399,14 @@ class MauiScheduler:
             "iteration t=%.1f queued=%d started=%d backfilled=%d",
             now, len(self.server.queue), started, backfilled,
         )
+        if prof is not None:
+            prof.end()
         if obs is not None:
             obs.sync_stats(self.stats)
             obs.sync_ledger(self.dfs.snapshot())
             obs.end_iteration(
                 now,
-                _time.perf_counter_ns() - wall_start_ns,
+                _perf_ns() - wall_start_ns,
                 self.trace.total_recorded - events_before,
             )
 
@@ -486,6 +511,9 @@ class MauiScheduler:
         charged at full width from the window start; a second-order
         approximation that errs against the expanding user).
         """
+        prof = self._prof
+        if prof is not None:
+            prof.begin("fairshare_update", sim_time=now)
         last = self._last_stats_time
         if now > last:
             # Only running jobs plus those that finished since the previous
@@ -511,6 +539,8 @@ class MauiScheduler:
             self.trace.record(
                 now, EventKind.DFS_INTERVAL_ROLL, interval_start=self.dfs.interval_start
             )
+        if prof is not None:
+            prof.end()
 
     # ------------------------------------------------------------------
     # dynamic requests (Algorithm 2 lines 11-24)
@@ -545,6 +575,9 @@ class MauiScheduler:
         key = (self.server.state_version, self.cluster.version, now)
         ctx = self._delay_ctx
         if ctx is None or ctx[0] != key:
+            prof = self._prof
+            if prof is not None:
+                prof.begin("delay_context")
             partitions = static_partitions(self.config)
             profile = self._build_profile(partitions)
             ordered = self._eligible_static(now)
@@ -556,22 +589,29 @@ class MauiScheduler:
             )
             ctx = (key, profile, ordered, profile_nodes, baseline)
             self._delay_ctx = ctx
+            if prof is not None:
+                prof.end()
         return ctx[1], ctx[2], ctx[3], ctx[4]
 
     def _process_dynamic_requests(self, now: float) -> None:
         obs = self._obs
+        prof = self._prof
+        if prof is not None:
+            prof.begin("dyn_requests")
         for dreq in self._ordered_dynamic_requests():
-            wall_start_ns = _time.perf_counter_ns()
+            wall_start_ns = _perf_ns()
             events_before = self.trace.total_recorded if obs is not None else 0
             try:
                 self._handle_dynamic_request(dreq, now)
             finally:
-                wall_ns = _time.perf_counter_ns() - wall_start_ns
+                wall_ns = _perf_ns() - wall_start_ns
                 self.stats["dyn_handle_seconds"] += wall_ns / 1e9
                 if obs is not None:
                     obs.end_dyn_handle(
                         now, wall_ns, self.trace.total_recorded - events_before
                     )
+        if prof is not None:
+            prof.end()
 
     def _handle_dynamic_request(self, dreq: DynRequest, now: float) -> None:
         if dreq.is_extension:
@@ -628,14 +668,18 @@ class MauiScheduler:
         claim_inside = Allocation(
             {n: c for n, c in alloc.items() if n in profile_nodes}
         )
-        victims = (
-            measure_delays(
+        if claim_inside.is_empty:
+            victims = []
+        else:
+            prof = self._prof
+            if prof is not None:
+                prof.begin("delay_measure")
+            victims = measure_delays(
                 ordered, profile, claim_inside, claim_end, now,
                 self.config.plan_depth, baseline=baseline,
             )
-            if not claim_inside.is_empty
-            else []
-        )
+            if prof is not None:
+                prof.end()
         decision = self.dfs.evaluate(victims, job.user, now)
         if decision:
             charged = self.dfs.commit(victims, job.user)
@@ -706,8 +750,13 @@ class MauiScheduler:
         claim_inside = Allocation(
             {n: c for n, c in job.allocation.items() if n in profile_nodes}
         )
-        victims = (
-            measure_delays(
+        if claim_inside.is_empty:
+            victims = []
+        else:
+            prof = self._prof
+            if prof is not None:
+                prof.begin("delay_measure")
+            victims = measure_delays(
                 ordered,
                 profile,
                 claim_inside,
@@ -717,9 +766,8 @@ class MauiScheduler:
                 claim_start=old_end,
                 baseline=baseline,
             )
-            if not claim_inside.is_empty
-            else []
-        )
+            if prof is not None:
+                prof.end()
         decision = self.dfs.evaluate(victims, job.user, now)
         if decision:
             charged = self.dfs.commit(victims, job.user)
@@ -836,6 +884,9 @@ class MauiScheduler:
         every examined-but-not-started job plus everything left unexamined
         when the pass stops early.
         """
+        prof = self._prof
+        if prof is not None:
+            prof.begin("static_pass")
         partitions = static_partitions(self.config)
         working = self._build_profile(partitions)
         ledger = self._ledger
@@ -849,6 +900,8 @@ class MauiScheduler:
         stopped_at: int | None = None
         self._next_reservation_start = None
         for idx, job in enumerate(ordered):
+            if prof is not None:
+                prof.begin("backfill_scan")
             alloc = working.fits_at(now, job.walltime, job.request)
             molded = False
             if alloc is None and job.moldable_floor < job.request.total_cores:
@@ -867,6 +920,8 @@ class MauiScheduler:
                         granted=alloc.total_cores,
                         floor=job.moldable_floor,
                     )
+            if prof is not None:
+                prof.end()
             if alloc is not None:
                 working.add_claim(now, now + job.walltime, alloc)
                 if ledger is not None:
@@ -892,51 +947,63 @@ class MauiScheduler:
                 continue
             # blocked: reserve if within depth, then maybe stop the pass
             if reservations < self.config.reservation_depth:
+                if prof is not None:
+                    prof.begin("reservation_plan")
                 try:
-                    start, res_alloc = working.earliest_fit(
-                        job.request, job.walltime, after=now
+                    try:
+                        if prof is not None:
+                            prof.begin("earliest_fit")
+                        try:
+                            start, res_alloc = working.earliest_fit(
+                                job.request, job.walltime, after=now
+                            )
+                        finally:
+                            if prof is not None:
+                                prof.end()
+                    except NoFitError:
+                        if outcome is not None:
+                            outcome[job.job_id] = (
+                                "queued_behind",
+                                "request can never fit",
+                            )
+                        continue  # oversized for this partition view; skip
+                    working.add_claim(start, start + job.walltime, res_alloc)
+                    reservations += 1
+                    if (
+                        self._next_reservation_start is None
+                        or start < self._next_reservation_start
+                    ):
+                        self._next_reservation_start = start
+                    self.stats["reservations_created"] += 1
+                    self.trace.record(
+                        now,
+                        EventKind.RESERVATION_CREATE,
+                        job_id=job.job_id,
+                        start=start,
+                        cores=res_alloc.total_cores,
                     )
-                except NoFitError:
-                    if outcome is not None:
-                        outcome[job.job_id] = (
-                            "queued_behind",
-                            "request can never fit",
+                    if ledger is not None:
+                        # what is the reservation waiting on: running jobs
+                        # that release by its start, plus earlier
+                        # reservations due to start before it
+                        waiting_on = [
+                            j.job_id
+                            for j in self.server.active_jobs()
+                            if j.walltime_end <= start + 1e-9
+                        ] + [jid for jid, s in reserved_ahead if s <= start + 1e-9]
+                        ledger.note_reservation(
+                            job, now, start, res_alloc.total_cores,
+                            waiting_on, fingerprint,
                         )
-                    continue  # oversized for this partition view; skip
-                working.add_claim(start, start + job.walltime, res_alloc)
-                reservations += 1
-                if (
-                    self._next_reservation_start is None
-                    or start < self._next_reservation_start
-                ):
-                    self._next_reservation_start = start
-                self.stats["reservations_created"] += 1
-                self.trace.record(
-                    now,
-                    EventKind.RESERVATION_CREATE,
-                    job_id=job.job_id,
-                    start=start,
-                    cores=res_alloc.total_cores,
-                )
-                if ledger is not None:
-                    # what is the reservation waiting on: running jobs that
-                    # release by its start, plus earlier reservations due
-                    # to start before it
-                    waiting_on = [
-                        j.job_id
-                        for j in self.server.active_jobs()
-                        if j.walltime_end <= start + 1e-9
-                    ] + [jid for jid, s in reserved_ahead if s <= start + 1e-9]
-                    ledger.note_reservation(
-                        job, now, start, res_alloc.total_cores,
-                        waiting_on, fingerprint,
-                    )
-                    reserved_ahead.append((job.job_id, start))
-                    if outcome is not None:
-                        outcome[job.job_id] = (
-                            "reservation_held",
-                            f"reserved at t={start:.1f}",
-                        )
+                        reserved_ahead.append((job.job_id, start))
+                        if outcome is not None:
+                            outcome[job.job_id] = (
+                                "reservation_held",
+                                f"reserved at t={start:.1f}",
+                            )
+                finally:
+                    if prof is not None:
+                        prof.end()
             elif outcome is not None:
                 behind = f"behind {blocked_ids[0]}" if blocked_ids else None
                 outcome[job.job_id] = ("queued_behind", behind)
@@ -956,6 +1023,8 @@ class MauiScheduler:
                 reason = f"blocked top-priority job {ordered[stopped_at].job_id}"
             for job in ordered[stopped_at + 1 :]:
                 outcome[job.job_id] = ("backfill_blocked", reason)
+        if prof is not None:
+            prof.end()
         return started, backfilled
 
     def explain(self, job: Job) -> dict:

@@ -90,6 +90,12 @@ class WorkloadMetrics:
     def from_server(
         cls, server: Server, cluster: Cluster, *, telemetry=None
     ) -> "WorkloadMetrics":
+        if getattr(server, "jobs_discarded", 0):
+            raise RuntimeError(
+                f"{server.jobs_discarded} job(s) were folded and discarded "
+                "(fold_and_discard); retained-job metrics are unavailable — "
+                "read the streaming aggregates from telemetry.windows instead"
+            )
         records = [JobRecord.from_job(j) for j in server.jobs.values()]
         return cls(records, cluster.total_cores, server.trace, telemetry=telemetry)
 

@@ -9,6 +9,14 @@ package makes those observations *live* instead of post-mortem:
   (utilization, queue depth, DFS ledger levels);
 * :class:`~repro.obs.tracing.SpanTracer` — wall-clock profiling of
   scheduler iterations and dynamic-request servicing (live Fig. 12 data);
+* :class:`~repro.obs.perf.PhaseProfiler` — phase-level breakdown of
+  *where inside* an iteration the wall-clock goes
+  (``Telemetry(profiling=True)``);
+* :class:`~repro.obs.windows.WindowedMetrics` — bounded-memory streaming
+  aggregates over time windows with P² percentile sketches
+  (``Telemetry(windows=...)``);
+* :mod:`~repro.obs.clock` — the single wall-clock shim every instrument
+  reads, freezable in tests;
 * :mod:`~repro.obs.exporters` — JSONL trace streaming and the Prometheus
   text exposition format;
 * :class:`~repro.obs.telemetry.Telemetry` — the facade bundling the above,
@@ -25,10 +33,12 @@ from repro.obs.exporters import (
     to_prometheus_text,
 )
 from repro.obs.ledger import Decision, DecisionKind, DecisionLedger
+from repro.obs.perf import PhaseProfiler
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sampler import PeriodicSampler
 from repro.obs.telemetry import DEFAULT_SAMPLE_INTERVAL, Telemetry
 from repro.obs.tracing import Span, SpanTracer
+from repro.obs.windows import P2Quantile, WindowedMetrics
 
 __all__ = [
     "Counter",
@@ -38,10 +48,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "P2Quantile",
     "PeriodicSampler",
+    "PhaseProfiler",
     "Span",
     "SpanTracer",
     "Telemetry",
+    "WindowedMetrics",
     "DEFAULT_SAMPLE_INTERVAL",
     "JsonlTraceWriter",
     "export_jsonl",

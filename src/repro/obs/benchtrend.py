@@ -1,0 +1,189 @@
+"""Bench-snapshot trend analysis: diff a ``BENCH_*.json`` against a baseline.
+
+The benchmark suite writes a machine-readable snapshot per PR (see
+``benchmarks/conftest.py``), keyed ``groups.<group>.<test>.<metric>``.  This
+module compares two snapshots and classifies every shared metric as
+improved / ok / regressed within a relative tolerance band, so CI can fail
+on genuine performance regressions while ignoring runner noise.
+
+Direction is inferred from the metric name:
+
+* **lower is better** — wall/overhead timings (``*_ms``, ``*_ns``, ``*_us``,
+  ``*_s``, ``*_seconds``, ``overhead*``, ``per_check*``);
+* **higher is better** — ``headroom*``, ``throughput*``, ``*_per_s*``;
+* everything else (counts, sizes) is **informational**: reported, never a
+  regression — job counts changing is a workload change, not a slowdown.
+
+Exposed as the ``repro-batchsim bench-trend`` subcommand and as
+``python -m repro.obs.benchtrend`` for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "load_snapshot",
+    "metric_direction",
+    "diff_snapshots",
+    "render_trend",
+    "main",
+]
+
+#: default relative tolerance band — generous because snapshots are
+#: generated on whatever machine ran the benchmarks last (CI runners and
+#: laptops differ by far more than any real regression we chase here)
+DEFAULT_TOLERANCE = 0.5
+
+_LOWER_SUFFIXES = ("_ms", "_ns", "_us", "_s", "_seconds")
+_LOWER_PREFIXES = ("overhead", "per_check", "wall")
+_HIGHER_PREFIXES = ("headroom", "throughput")
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read one ``repro-bench/1`` snapshot, validating the schema tag."""
+    data = json.loads(Path(path).read_text())
+    schema = data.get("schema")
+    if schema != "repro-bench/1":
+        raise ValueError(f"{path}: unsupported bench schema {schema!r}")
+    return data
+
+
+def metric_direction(metric: str) -> str:
+    """``'lower'`` / ``'higher'`` is better, or ``'info'`` (no judgement)."""
+    if metric.startswith(_HIGHER_PREFIXES) or "_per_s" in metric:
+        return "higher"
+    if metric.startswith(_LOWER_PREFIXES) or metric.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    return "info"
+
+
+def _iter_metrics(snapshot: dict) -> Iterator[tuple[str, str, str, float]]:
+    for group, tests in sorted(snapshot.get("groups", {}).items()):
+        for test, values in sorted(tests.items()):
+            for metric, value in sorted(values.items()):
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    yield group, test, metric, float(value)
+
+
+def diff_snapshots(
+    baseline: dict, current: dict, *, tolerance: float = DEFAULT_TOLERANCE
+) -> list[dict]:
+    """Row per metric: baseline vs current with a tolerance-band verdict.
+
+    Status is ``regressed`` when a directional metric moved the wrong way by
+    more than ``tolerance`` (relative), ``improved`` when it moved the right
+    way by more than the band, ``ok`` inside the band, ``info`` for
+    non-directional metrics, and ``new``/``removed`` for one-sided keys.
+    """
+    base = {(g, t, m): v for g, t, m, v in _iter_metrics(baseline)}
+    cur = {(g, t, m): v for g, t, m, v in _iter_metrics(current)}
+    rows: list[dict] = []
+    for key in sorted(base.keys() | cur.keys()):
+        group, test, metric = key
+        row = {
+            "group": group,
+            "test": test,
+            "metric": metric,
+            "baseline": base.get(key),
+            "current": cur.get(key),
+            "change": None,
+            "status": "info",
+        }
+        if key not in cur:
+            row["status"] = "removed"
+        elif key not in base:
+            row["status"] = "new"
+        else:
+            b, c = base[key], cur[key]
+            direction = metric_direction(metric)
+            if b != 0 and math.isfinite(b) and math.isfinite(c):
+                row["change"] = (c - b) / abs(b)
+            if direction != "info" and row["change"] is not None:
+                signed = row["change"] if direction == "lower" else -row["change"]
+                if signed > tolerance:
+                    row["status"] = "regressed"
+                elif signed < -tolerance:
+                    row["status"] = "improved"
+                else:
+                    row["status"] = "ok"
+        rows.append(row)
+    return rows
+
+
+def regressions(rows: list[dict]) -> list[dict]:
+    return [row for row in rows if row["status"] == "regressed"]
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_trend(
+    rows: list[dict], *, tolerance: float = DEFAULT_TOLERANCE
+) -> str:
+    """Fixed-width report; regressions and improvements called out."""
+    lines = [
+        f"bench trend (tolerance ±{tolerance:.0%} on directional metrics):",
+        f"  {'group':<14} {'test':<26} {'metric':<22} "
+        f"{'baseline':>12} {'current':>12} {'change':>8}  status",
+    ]
+    if not rows:
+        lines.append("  (no shared metrics)")
+        return "\n".join(lines)
+    for row in rows:
+        change = "-" if row["change"] is None else f"{row['change']:+.1%}"
+        lines.append(
+            f"  {row['group']:<14} {row['test']:<26} {row['metric']:<22} "
+            f"{_fmt(row['baseline']):>12} {_fmt(row['current']):>12} "
+            f"{change:>8}  {row['status']}"
+        )
+    regressed = regressions(rows)
+    if regressed:
+        lines.append(f"  {len(regressed)} metric(s) regressed beyond tolerance")
+    else:
+        lines.append("  no regressions beyond tolerance")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.benchtrend",
+        description="Diff a BENCH_*.json snapshot against a committed baseline.",
+    )
+    parser.add_argument("baseline", help="baseline snapshot (committed)")
+    parser.add_argument("current", help="freshly generated snapshot")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"relative tolerance band (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="exit 1 when any directional metric regressed beyond tolerance",
+    )
+    args = parser.parse_args(argv)
+    rows = diff_snapshots(
+        load_snapshot(args.baseline),
+        load_snapshot(args.current),
+        tolerance=args.tolerance,
+    )
+    print(render_trend(rows, tolerance=args.tolerance))
+    if args.fail_on_regress and regressions(rows):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

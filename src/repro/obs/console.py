@@ -23,6 +23,9 @@ __all__ = [
     "render_decision_tail",
     "render_attribution",
     "render_causal_chain",
+    "render_phase_tree",
+    "render_window_table",
+    "render_window_percentiles",
 ]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
@@ -179,6 +182,105 @@ def render_causal_chain(chain: Sequence[Mapping]) -> str:
     if not chain:
         return "(no decisions involve this job)"
     return "\n".join(_decision_line(d) for d in chain)
+
+
+def _phase_tree_lines(
+    tree: Mapping[str, Mapping],
+    lines: list[str],
+    depth: int,
+    parent_total: float | None,
+) -> None:
+    order = sorted(tree, key=lambda k: -tree[k]["total_ms"])
+    for name in order:
+        node = tree[name]
+        share = (
+            f" {node['total_ms'] / parent_total:>5.1%}"
+            if parent_total
+            else "      "
+        )
+        label = "  " * depth + name
+        lines.append(
+            f"  {label:<34} {node['count']:>8} {node['total_ms']:>12.3f} "
+            f"{node['self_ms']:>12.3f}{share}"
+        )
+        if node["children"]:
+            _phase_tree_lines(node["children"], lines, depth + 1, node["total_ms"])
+
+
+def render_phase_tree(tree: Mapping[str, Mapping]) -> str:
+    """The profiler's nested phase tree as an indented fixed-width table.
+
+    One row per phase path: call count, inclusive wall time, self time
+    (inclusive minus profiled children) and the share of the parent's
+    inclusive time.  Children are sorted by inclusive time, so the hot path
+    reads top-to-bottom.
+    """
+    lines = [
+        f"  {'phase':<34} {'count':>8} {'total[ms]':>12} {'self[ms]':>12} share"
+    ]
+    if not tree:
+        lines.append("  (no phases recorded)")
+        return "\n".join(lines)
+    _phase_tree_lines(dict(tree), lines, 0, None)
+    return "\n".join(lines)
+
+
+def _pct_cols(stat: Mapping) -> list[str]:
+    cols = []
+    for key in ("mean", "p50", "p90", "p99"):
+        value = stat.get(key)
+        cols.append("-" if value is None else f"{value:.1f}")
+    return cols
+
+
+def render_window_table(
+    windows: Sequence[Mapping],
+    *,
+    title: str = "windowed aggregates",
+) -> str:
+    """One row per window: jobs, utilization, wait and slowdown stats."""
+    lines = [
+        title,
+        f"  {'window':>6} {'t0':>10} {'t1':>10} {'jobs':>5} {'util':>6} "
+        f"{'wait mean':>10} {'p90':>8} {'bsld mean':>10} {'p90':>8} {'depth':>6}",
+    ]
+    if not windows:
+        lines.append("  (no windows materialised)")
+        return "\n".join(lines)
+    for w in windows:
+        util = w.get("utilization")
+        wait, bsld = w.get("wait", {}), w.get("bounded_slowdown", {})
+        depth = w.get("queue_depth", {})
+        lines.append(
+            f"  {w['index']:>6} {w['start']:>10.0f} {w['end']:>10.0f} "
+            f"{w['finished']:>5} "
+            f"{('-' if util is None else f'{util:.1%}'):>6} "
+            f"{(_pct_cols(wait)[0]):>10} {(_pct_cols(wait)[2]):>8} "
+            f"{(_pct_cols(bsld)[0]):>10} {(_pct_cols(bsld)[2]):>8} "
+            f"{depth.get('max', 0):>6}"
+        )
+    return "\n".join(lines)
+
+
+def render_window_percentiles(totals: Mapping) -> str:
+    """Whole-run percentile rows from a windows dump's ``totals`` record."""
+    lines = [
+        "whole-run streaming aggregates (P² sketches):",
+        f"  {'metric':<18} {'mean':>10} {'p50':>10} {'p90':>10} {'p99':>10}",
+    ]
+    for key, label in (("wait", "wait[s]"), ("bounded_slowdown", "bounded slowdown")):
+        stat = totals.get(key, {})
+        mean, p50, p90, p99 = _pct_cols(stat)
+        lines.append(f"  {label:<18} {mean:>10} {p50:>10} {p90:>10} {p99:>10}")
+    util = totals.get("utilization")
+    if util is not None:
+        lines.append(f"  {'utilization':<18} {util:>10.1%}")
+    lines.append(
+        f"  jobs finished {totals.get('jobs_finished', 0)}, "
+        f"completed {totals.get('jobs_completed', 0)}, "
+        f"satisfied dyn {totals.get('satisfied_dyn_jobs', 0)}"
+    )
+    return "\n".join(lines)
 
 
 def render_ledger_table(

@@ -35,6 +35,7 @@ repro_sched_delay_charged_seconds_total     counter     maui.scheduler
 repro_dfs_ledger_delay_seconds{kind,name}   gauge       maui.scheduler (per iteration)
 repro_sched_iteration_seconds               histogram   maui.scheduler (wall clock)
 repro_dyn_handle_seconds                    histogram   maui.scheduler (wall clock)
+repro_phase_seconds{phase}                  histogram   obs.perf (per profiled phase path)
 repro_busy_cores                            gauge       cluster.machine
 repro_ledger_decisions_total{kind}          counter     obs.ledger (per kind)
 repro_ledger_dyn_inflicted_seconds_total    counter     obs.ledger
@@ -56,7 +57,9 @@ only exist when a fault model enables transient delivery drops.
 The ``repro_ledger_*`` instruments are registered by the decision ledger
 itself (``repro.obs.ledger``) rather than by a bundle here — the ledger
 is its own hook consumer and only exists when
-``Telemetry(decision_ledger=True)``.
+``Telemetry(decision_ledger=True)``.  Likewise ``repro_phase_seconds`` is
+registered by the phase profiler (``repro.obs.perf``) and only exists
+when ``Telemetry(profiling=True)``.
 """
 
 from __future__ import annotations

@@ -41,6 +41,10 @@ class Telemetry:
         sample_interval: float | None = DEFAULT_SAMPLE_INTERVAL,
         span_maxlen: int = 4096,
         decision_ledger: bool = False,
+        profiling: bool = False,
+        phase_trace_maxlen: int = 4096,
+        windows=None,
+        fold_and_discard: bool = False,
     ) -> None:
         self.enabled = enabled
         self.registry = MetricsRegistry()
@@ -52,6 +56,34 @@ class Telemetry:
             from repro.obs.ledger import DecisionLedger
 
             self.ledger = DecisionLedger(registry=self.registry)
+        #: optional phase profiler (``profiling=True``); BatchSystem hands it
+        #: to the engine and scheduler, which keep a plain ``None`` sentinel
+        #: otherwise — the same hook discipline as the ledger
+        self.profiler = None
+        if enabled and profiling:
+            from repro.obs.perf import PhaseProfiler
+
+            self.profiler = PhaseProfiler(
+                registry=self.registry, trace_maxlen=phase_trace_maxlen
+            )
+        #: optional streaming windowed aggregates; pass a window width in
+        #: sim-seconds or a pre-configured
+        #: :class:`~repro.obs.windows.WindowedMetrics` instance
+        self.windows = None
+        if enabled and windows is not None:
+            from repro.obs.windows import WindowedMetrics
+
+            self.windows = (
+                windows
+                if isinstance(windows, WindowedMetrics)
+                else WindowedMetrics(float(windows))
+            )
+        #: when True (requires ``windows``) the server drops each folded
+        #: job from its indexes once fairshare accounting is done, so long
+        #: replays hold O(windows) memory instead of O(jobs)
+        self.fold_and_discard = bool(fold_and_discard)
+        if self.fold_and_discard and self.windows is None:
+            raise ValueError("fold_and_discard=True requires windows=")
         self.sample_interval = sample_interval
         self.sampler: PeriodicSampler | None = None
         self._pending_sources: dict[str, object] = {}
@@ -109,12 +141,16 @@ class Telemetry:
         self._busy_last_time = float(now)
         self._busy_last_value = int(busy)
         self._busy_integral = 0.0
+        if self.windows is not None:
+            self.windows.reset_busy(now, busy)
 
     def on_busy_change(self, now: float, busy: int) -> None:
         """The number of busy cores changed at sim-time ``now``."""
         self._busy_integral += self._busy_last_value * (now - self._busy_last_time)
         self._busy_last_time = now
         self._busy_last_value = busy
+        if self.windows is not None:
+            self.windows.on_busy_change(now, busy)
 
     def busy_core_seconds(self, upto: float | None = None) -> float:
         """Integral of busy cores over sim-time since attach.

@@ -14,9 +14,10 @@ cover *all* spans ever recorded, not just the retained tail.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from dataclasses import dataclass
+
+from repro.obs import clock
 
 __all__ = ["Span", "SpanTracer"]
 
@@ -48,8 +49,12 @@ class SpanTracer:
     # ------------------------------------------------------------------
     @staticmethod
     def clock_ns() -> int:
-        """The wall clock used for span timing (monotonic, ns)."""
-        return time.perf_counter_ns()
+        """The wall clock used for span timing (monotonic, ns).
+
+        Reads the shared :mod:`repro.obs.clock` shim, so tests can freeze
+        every wall-time observer at once.
+        """
+        return clock.perf_ns()
 
     def record(
         self, name: str, sim_time: float, wall_ns: int, events_emitted: int = 0

@@ -102,14 +102,42 @@ class Server:
         #: in-flight grant deliveries awaiting a retry after a transient
         #: delivery failure, keyed by job id (one pending dreq per job)
         self._pending_deliveries: dict[str, tuple[EventHandle, DynRequest, Allocation, int]] = {}
+        #: optional :class:`repro.obs.windows.WindowedMetrics`; None keeps
+        #: teardown and _notify a single attribute-is-None check each
+        self._windows = None
+        #: with fold-and-discard, folded jobs are dropped from ``jobs`` once
+        #: the scheduler has accrued their final fairshare segment
+        self._discard_folded = False
+        #: count of jobs discarded after folding (bounded-memory replays)
+        self.jobs_discarded = 0
+        #: terminal states of discarded jobs, so ``afterok``/``afterany``
+        #: dependencies on them still resolve.  A str->JobState entry is
+        #: ~two orders of magnitude smaller than a retained Job object.
+        self._discarded_states: dict[str, JobState] = {}
 
     def attach_faults(self, faults) -> None:
         """Install transient-failure hooks (``repro.faults.TransientFaults``)."""
         self._faults = faults
 
+    def attach_windows(self, windows, *, fold_and_discard: bool = False) -> None:
+        """Install streaming windowed aggregation (``repro.obs.windows``).
+
+        Every finishing job is folded into ``windows`` at teardown; with
+        ``fold_and_discard`` it is additionally dropped from the ``jobs``
+        index after :meth:`drain_finished_for_stats` hands it to the
+        scheduler, so long replays hold O(windows) memory instead of
+        O(jobs).  Note that retained-job reporting
+        (:meth:`~repro.metrics.collector.WorkloadMetrics.from_server`)
+        is unavailable once jobs have been discarded.
+        """
+        self._windows = windows
+        self._discard_folded = bool(fold_and_discard)
+
     # ------------------------------------------------------------------
     def _notify(self) -> None:
         self.state_version += 1
+        if self._windows is not None:
+            self._windows.observe_queue_depth(self.engine.now, len(self.queue))
         if self.on_state_change is not None:
             self.on_state_change()
 
@@ -132,9 +160,22 @@ class Server:
         Preempted jobs are deliberately *not* listed — their ``start_time``
         is reset on preemption, matching the historical accounting rule
         that a preempted segment accrues no fairshare usage.
+
+        With fold-and-discard active, each drained job is dropped from the
+        server's indexes here — the returned list keeps the objects alive
+        exactly long enough for the caller's final fairshare accrual, after
+        which nothing references them and they are collectable.  Their
+        terminal state survives in a compact map so dependencies on them
+        still resolve.
         """
         drained = self._finished_unaccounted
         self._finished_unaccounted = []
+        if self._discard_folded and drained:
+            for job in drained:
+                if self.jobs.pop(job.job_id, None) is not None:
+                    self._apps.pop(job.job_id, None)
+                    self._discarded_states[job.job_id] = job.state
+                    self.jobs_discarded += 1
         return drained
 
     def dependency_satisfied(self, job: Job) -> bool:
@@ -149,7 +190,12 @@ class Server:
             return True
         target = self.jobs.get(job.depends_on)
         if target is None:
-            return False
+            # a discarded target was torn down, so it started and finished;
+            # only its terminal state still matters
+            state = self._discarded_states.get(job.depends_on)
+            if state is None:
+                return False
+            return job.dependency_type != "afterok" or state is JobState.COMPLETED
         if job.dependency_type == "after":
             return target.start_time is not None
         if job.dependency_type == "afterok":
@@ -161,9 +207,13 @@ class Server:
         if job.depends_on is None:
             return False
         target = self.jobs.get(job.depends_on)
+        if target is None:
+            return (
+                job.dependency_type == "afterok"
+                and self._discarded_states.get(job.depends_on) is JobState.ABORTED
+            )
         return (
             job.dependency_type == "afterok"
-            and target is not None
             and target.state is JobState.ABORTED
         )
 
@@ -335,6 +385,8 @@ class Server:
         job.end_time = self.engine.now
         self._active_jobs.pop(job.job_id, None)
         self._finished_unaccounted.append(job)
+        if self._windows is not None:
+            self._windows.fold_job(job)
         self.trace.record(
             self.engine.now,
             kind,
@@ -763,6 +815,8 @@ class Server:
         stub.end_time = self.engine.now
         self._active_jobs.pop(stub.job_id, None)
         self._finished_unaccounted.append(stub)
+        if self._windows is not None:
+            self._windows.fold_job(stub)
         stub.allocation = None
         parent.allocation = parent.allocation + transferred
         parent.dyn_granted += 1

@@ -101,6 +101,10 @@ class Engine:
         self._tombstones: int = 0
         #: cumulative compaction count (introspection for tests/benchmarks)
         self._compactions: int = 0
+        #: optional :class:`repro.obs.perf.PhaseProfiler` wrapping every
+        #: callback dispatch in an ``engine_dispatch`` phase; None keeps the
+        #: dispatch loop a single attribute-is-None check per event
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -179,7 +183,15 @@ class Engine:
             handle._dequeued = True
             self.now = time
             self._processed += 1
-            handle.callback(*handle.args)
+            prof = self.profiler
+            if prof is None:
+                handle.callback(*handle.args)
+            else:
+                prof.begin("engine_dispatch", sim_time=time)
+                try:
+                    handle.callback(*handle.args)
+                finally:
+                    prof.end()
             return True
         return False
 
@@ -196,6 +208,9 @@ class Engine:
             raise RuntimeError("Engine.run() is not reentrant")
         self._running = True
         processed = 0
+        # resolved once per run: the dispatch loop pays one local-is-None
+        # check per event instead of an attribute lookup
+        prof = self.profiler
         try:
             while self._heap:
                 time, _prio, _seq, handle = self._heap[0]
@@ -213,7 +228,14 @@ class Engine:
                     raise RuntimeError(
                         f"exceeded max_events={max_events}; runaway simulation?"
                     )
-                handle.callback(*handle.args)
+                if prof is None:
+                    handle.callback(*handle.args)
+                else:
+                    prof.begin("engine_dispatch", sim_time=time)
+                    try:
+                        handle.callback(*handle.args)
+                    finally:
+                        prof.end()
             if until is not None and until > self.now:
                 self.now = until
             return processed

@@ -70,9 +70,19 @@ class BatchSystem:
                 # wait timelines follow the lifecycle events; decisions are
                 # mirrored into the trace for JSONL export
                 telemetry.ledger.attach_trace(self.trace)
+            if telemetry.profiler is not None:
+                # the engine wraps every dispatch; scheduler phases nest
+                # inside the owning dispatch automatically
+                self.engine.profiler = telemetry.profiler
         self.server = Server(
             self.engine, self.cluster, self.trace, telemetry=telemetry
         )
+        if telemetry is not None and telemetry.windows is not None:
+            if telemetry.windows.total_cores is None:
+                telemetry.windows.set_capacity(self.cluster.total_cores)
+            self.server.attach_windows(
+                telemetry.windows, fold_and_discard=telemetry.fold_and_discard
+            )
         self.scheduler = MauiScheduler(self.engine, self.cluster, self.server, config)
         #: optional :class:`repro.faults.FaultInjector`; built last so the
         #: failure trace replays against the fully wired stack.  A model

@@ -115,3 +115,114 @@ class TestMain:
                 if handler not in before:
                     logger.removeHandler(handler)
             logger.setLevel(logging.NOTSET)
+
+
+class TestPerfObservatoryCLI:
+    """perf-report / bench-trend subcommands and the windowed metrics view."""
+
+    def test_parser_accepts_perf_artifacts(self):
+        for artifact in ("perf-report", "bench-trend"):
+            assert build_parser().parse_args([artifact]).artifact == artifact
+        args = build_parser().parse_args(
+            ["perf-report", "--phases", "p.jsonl", "--windows", "w.jsonl",
+             "--window-width", "300"]
+        )
+        assert args.phases == "p.jsonl"
+        assert args.windows == "w.jsonl"
+        assert args.window_width == 300.0
+
+    @pytest.fixture
+    def dumps(self, tmp_path):
+        from repro.obs.clock import ManualClock, reset_clock, set_clock
+        from repro.obs.perf import PhaseProfiler
+        from repro.obs.windows import WindowedMetrics
+        from types import SimpleNamespace
+
+        clk = ManualClock()
+        set_clock(clk)
+        try:
+            prof = PhaseProfiler()
+            prof.begin("engine_dispatch", sim_time=1.0)
+            clk.advance(3_000_000)
+            prof.begin("sched_iteration")
+            clk.advance(2_000_000)
+            prof.end()
+            prof.end()
+            phases = tmp_path / "phases.jsonl"
+            with open(phases, "w") as fp:
+                prof.export_phases_jsonl(fp)
+        finally:
+            reset_clock()
+        w = WindowedMetrics(10.0, total_cores=8)
+        w.reset_busy(0.0, 4)
+        w.fold_job(
+            SimpleNamespace(
+                job_id="j", submit_time=0.0, start_time=2.0, end_time=12.0,
+                state=SimpleNamespace(value="completed"),
+                is_evolving=False, dyn_granted=0,
+            )
+        )
+        w.on_busy_change(15.0, 0)
+        windows = tmp_path / "windows.jsonl"
+        with open(windows, "w") as fp:
+            w.export_jsonl(fp)
+        return str(phases), str(windows)
+
+    def test_perf_report_offline(self, dumps, capsys):
+        phases, windows = dumps
+        assert main(["perf-report", "--phases", phases, "--windows", windows]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "sched_iteration" in out
+        assert "streaming aggregates" in out
+        assert "windowed aggregates" in out
+
+    def test_metrics_accepts_windows_dump(self, dumps, capsys):
+        _, windows = dumps
+        assert main(["metrics", "--windows", windows]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p90" in out and "p99" in out
+        assert "wait[s]" in out
+        assert "jobs finished 1" in out
+
+    @pytest.fixture
+    def snapshots(self, tmp_path):
+        import json
+
+        base = {
+            "schema": "repro-bench/1",
+            "groups": {"g": {"t": {"wall_ms": 100.0, "jobs": 3}}},
+        }
+        cur = {
+            "schema": "repro-bench/1",
+            "groups": {"g": {"t": {"wall_ms": 400.0, "jobs": 3}}},
+        }
+        b, c = tmp_path / "base.json", tmp_path / "cur.json"
+        b.write_text(json.dumps(base))
+        c.write_text(json.dumps(cur))
+        return str(b), str(c)
+
+    def test_bench_trend_reports_regression(self, snapshots, capsys):
+        base, cur = snapshots
+        assert main(["bench-trend", "--baseline", base, "--current", cur]) == 0
+        out = capsys.readouterr().out
+        assert "regressed" in out
+        assert "+300.0%" in out
+
+    def test_bench_trend_fail_on_regress_exits_nonzero(self, snapshots, capsys):
+        base, cur = snapshots
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench-trend", "--baseline", base, "--current", cur,
+                  "--fail-on-regress"])
+        assert excinfo.value.code == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_bench_trend_identical_snapshots_pass(self, snapshots, capsys):
+        base, _ = snapshots
+        assert main(["bench-trend", "--baseline", base, "--current", base,
+                     "--fail-on-regress"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_bench_trend_requires_paths(self):
+        with pytest.raises(SystemExit):
+            main(["bench-trend"])
