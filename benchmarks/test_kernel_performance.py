@@ -138,7 +138,7 @@ def test_scheduler_iteration_deep_queue(benchmark, cache):
     def iterate(system):
         system.scheduler.iteration()
 
-    benchmark.pedantic(iterate, setup=setup, rounds=10, iterations=1)
+    benchmark.pedantic(iterate, setup=setup, rounds=50, warmup_rounds=2, iterations=1)
     record_bench(
         "kernel",
         f"scheduler_iteration_deep_queue_{'cache_on' if cache else 'cache_off'}",
@@ -197,4 +197,77 @@ def test_profile_build_cached_vs_fresh(benchmark):
     record_bench(
         "kernel", "profile_build_cached",
         wall_seconds=benchmark.stats.stats.mean,
+    )
+
+
+@pytest.mark.benchmark(group="kernel")
+@pytest.mark.parametrize("mode", ["calendar", "heap"])
+def test_engine_dispatch_mode(benchmark, mode):
+    """Forced calendar vs forced heap on the dense 10k-event stimulus.
+
+    The adaptive engine picks between these two structures at runtime;
+    this pair pins each one's cost on the same workload so a regression
+    in either (or in the batched same-timestamp drain specifically) shows
+    up even when the auto mode happens to mask it.
+    """
+
+    def run_events():
+        engine = Engine(queue=mode)
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for i in range(10_000):
+            engine.at(float(i % 100), tick)
+        engine.run()
+        assert engine.queue_mode == mode
+        return count
+
+    assert benchmark(run_events) == 10_000
+    record_bench(
+        "kernel", f"engine_dispatch_{mode}",
+        wall_seconds=benchmark.stats.stats.mean,
+        events=10_000,
+        events_per_second=10_000 / benchmark.stats.stats.mean,
+    )
+
+
+@pytest.mark.benchmark(group="kernel")
+@pytest.mark.parametrize(
+    "incremental", [True, False], ids=["incremental", "scratch"]
+)
+def test_profile_maintenance(benchmark, incremental):
+    """Availability-profile refresh: incremental advance vs scratch rebuild.
+
+    With incremental maintenance on, a refresh advances the previous
+    profile to the current time and applies the active-job footprint
+    delta; with it off, every refresh replays all running jobs into a
+    fresh profile.  The cache is cleared before each call so the
+    maintenance path itself is measured, not the cache hit.
+    """
+    system = _loaded_system()
+    scheduler = system.scheduler
+    scheduler.profile_incremental_enabled = incremental
+    if not incremental:
+        scheduler._profile_bases.clear()
+    scheduler._build_profile(None)  # seeds the incremental base
+    advances_before = scheduler.stats["profile_advances"]
+
+    def refresh():
+        scheduler._profile_cache.clear()
+        return scheduler._build_profile(None)
+
+    benchmark(refresh)
+    if incremental:
+        assert scheduler.stats["profile_advances"] > advances_before
+        assert scheduler.stats["profile_advance_fallbacks"] == 0
+    else:
+        assert scheduler.stats["profile_advances"] == advances_before
+    record_bench(
+        "kernel",
+        f"profile_maintenance_{'incremental' if incremental else 'scratch'}",
+        wall_seconds=benchmark.stats.stats.mean,
+        active_jobs=15,
     )

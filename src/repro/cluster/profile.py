@@ -44,6 +44,10 @@ __all__ = ["AvailabilityProfile", "NoFitError"]
 #: first few claims on a fresh copy insert without reallocating
 _HEADROOM = 8
 
+#: at most this many candidate starts scan in plain Python in
+#: earliest_fit; beyond it the vectorized sparse table wins
+_PY_SCAN_MAX = 8
+
 
 class NoFitError(Exception):
     """The request can never fit in this profile (exceeds capacity)."""
@@ -88,6 +92,12 @@ class AvailabilityProfile:
             )
         else:
             self._capacity = None
+        # step-function generation counter + memo for quick_reject: the
+        # backfill scan probes the same instant for every queued job, so
+        # the sorted free vector at that instant is derived once per
+        # profile state and each probe is a pure-Python bisect
+        self._gen = 0
+        self._qr_memo: tuple[int, float, list[int], int] | None = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -105,6 +115,8 @@ class AvailabilityProfile:
         clone._sorted_nodes = self._sorted_nodes
         clone._sorted_cols = self._sorted_cols
         clone._capacity = self._capacity
+        clone._gen = 0
+        clone._qr_memo = None
         return clone
 
     def _vector(self, allocation: Allocation) -> np.ndarray:
@@ -141,6 +153,28 @@ class AvailabilityProfile:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    def advance_to(self, time: float) -> None:
+        """Move the profile start forward to ``time``, dropping history.
+
+        Intervals entirely before ``time`` are discarded and the first
+        surviving interval is clipped to start at ``time``; the step
+        function on ``[time, ∞)`` is untouched, so every query at or after
+        ``time`` answers exactly as before.  The scheduler's incremental
+        profile maintenance advances a cached profile to the current sim
+        time and then applies claim/release deltas, instead of rebuilding
+        the matrix from scratch each iteration.
+        """
+        if time < self._times[0]:
+            raise ValueError(f"time {time} precedes profile start {self._times[0]}")
+        i = bisect.bisect_right(self._times, time) - 1
+        if i > 0:
+            n = len(self._times)
+            self._mat[: n - i] = self._mat[i:n].copy()
+            del self._times[:i]
+        self._times[0] = time
+        self.now = float(time)
+        self._gen += 1
+
     def add_release(self, time: float, allocation: Allocation) -> None:
         """Cores become free from ``time`` onward (a running job's expected end).
 
@@ -153,6 +187,7 @@ class AvailabilityProfile:
         if self._capacity is not None and (block + vec > self._capacity).any():
             raise ValueError("release exceeds node capacity in profile")
         block += vec
+        self._gen += 1
 
     def add_claim(self, start: float, end: float, allocation: Allocation) -> None:
         """Cores are taken during ``[start, end)`` (a reservation).
@@ -180,6 +215,7 @@ class AvailabilityProfile:
                 f"t={self._times[first_bad]}"
             )
         block -= vec
+        self._gen += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -206,6 +242,42 @@ class AvailabilityProfile:
             raise ValueError(f"time {time} precedes profile start")
         i = bisect.bisect_right(self._times, time) - 1
         return int(self._mat[i].sum())
+
+    def quick_reject(self, start: float, request: ResourceRequest) -> bool:
+        """Cheap necessary-condition test: True means ``request`` provably
+        cannot fit in any window starting at ``start``.
+
+        Free cores at the window start bound every node's window minimum
+        from above, so a request that already fails against the
+        instantaneous free vector fails :meth:`fits_at` too — one O(nodes)
+        reduction instead of a full window scan.  Backfill uses this to
+        prune hopeless candidates on a packed cluster.
+        """
+        if start < self._times[0]:
+            raise ValueError(f"time {start} precedes profile start")
+        memo = self._qr_memo
+        if memo is None or memo[0] != self._gen or memo[1] != start:
+            row = self._mat[bisect.bisect_right(self._times, start) - 1]
+            memo = (self._gen, start, np.sort(row).tolist(), int(row.sum()))
+            self._qr_memo = memo
+        if request.is_shaped:
+            # entries >= ppn occupy the sorted tail; counting them via
+            # bisect is exactly the (row >= ppn).sum() reduction
+            free = memo[2]
+            return len(free) - bisect.bisect_left(free, request.ppn) < request.nodes
+        return memo[3] < request.cores
+
+    def can_ever_fit(self, request: ResourceRequest) -> bool:
+        """False when no instant in the profile offers enough resources —
+        i.e. :meth:`earliest_fit` is guaranteed to raise :class:`NoFitError`
+        for any duration.  One vectorized sweep over all intervals; window
+        minima only shrink below the per-interval free vectors, so an
+        instant-infeasible profile is window-infeasible everywhere.
+        """
+        mat = self._mat[: len(self._times)]
+        if request.is_shaped:
+            return bool(((mat >= request.ppn).sum(axis=1) >= request.nodes).any())
+        return bool(mat.sum(axis=1).max() >= request.cores)
 
     def _window_min(self, start: float, duration: float) -> np.ndarray:
         """Element-wise minimum free cores over ``[start, start+duration)``."""
@@ -305,6 +377,8 @@ class AvailabilityProfile:
         request: ResourceRequest,
         duration: float,
         after: float | None = None,
+        *,
+        probe_start: bool = True,
     ) -> tuple[float, Allocation]:
         """Earliest start ≥ ``after`` at which ``request`` fits for ``duration``.
 
@@ -313,24 +387,75 @@ class AvailabilityProfile:
         first feasible candidate wins; only that single candidate's concrete
         allocation is then materialised.  Raises :class:`NoFitError` when
         the request exceeds what the profile can ever offer.
+
+        ``probe_start=False`` skips the initial window query at the bound
+        itself — for callers that already proved :meth:`fits_at` fails
+        there (the scheduler reserves only for jobs it just failed to
+        start); the bound is the one candidate that is not a breakpoint,
+        so the remaining scan is unaffected.
         """
         times = self._times
         lo = times[0] if after is None else max(after, times[0])
-        # the query bound itself is the one candidate that need not be a
-        # breakpoint; probe it with a plain window query first
-        alloc = self.fits_at(lo, duration, request)
-        if alloc is not None:
-            return lo, alloc
+        if probe_start:
+            # the query bound itself is the one candidate that need not be
+            # a breakpoint; probe it with a plain window query first
+            alloc = self.fits_at(lo, duration, request)
+            if alloc is not None:
+                return lo, alloc
         k0 = bisect.bisect_right(times, lo)
-        if k0 < len(times):
-            mins = self._all_window_mins(k0, duration)
-            feasible = self._feasible_mask(mins, request)
-            if feasible.any():
-                j = int(np.argmax(feasible))
-                alloc = self._fit_from_min(mins[j], request, self._nodes)
-                assert alloc is not None
-                return times[k0 + j], alloc
+        n = len(times)
+        if k0 < n:
+            if n - k0 <= _PY_SCAN_MAX:
+                hit = self._earliest_fit_small(k0, duration, request)
+                if hit is not None:
+                    return hit
+            else:
+                mins = self._all_window_mins(k0, duration)
+                feasible = self._feasible_mask(mins, request)
+                if feasible.any():
+                    j = int(np.argmax(feasible))
+                    alloc = self._fit_from_min(mins[j], request, self._nodes)
+                    assert alloc is not None
+                    return times[k0 + j], alloc
         raise NoFitError(f"{request} never fits (cluster too small or fragmented)")
+
+    def _earliest_fit_small(
+        self, k0: int, duration: float, request: ResourceRequest
+    ) -> tuple[float, Allocation] | None:
+        """Candidate scan for few candidates, in plain Python.
+
+        With at most :data:`_PY_SCAN_MAX` candidate starts, the fixed cost
+        of the vectorized sparse table (a dozen numpy calls) dwarfs the
+        arithmetic; list comprehensions over the row values compute the
+        same integer window minima and the same first feasible candidate.
+        Every window here spans at most ``n - k0`` rows, so the whole scan
+        is O(_PY_SCAN_MAX² · nodes) comparisons in the worst case.
+        """
+        times = self._times
+        n = len(times)
+        rows = self._mat[:n].tolist()
+        shaped = request.is_shaped
+        for k in range(k0, n):
+            if math.isinf(duration):
+                end = n
+            else:
+                end = bisect.bisect_left(times, times[k] + duration)
+                if end <= k:
+                    end = k + 1
+            m = rows[k]
+            for row in rows[k + 1 : end]:
+                m = [a if a <= b else b for a, b in zip(m, row)]
+            if shaped:
+                ok = sum(1 for f in m if f >= request.ppn) >= request.nodes
+            else:
+                ok = sum(m) >= request.cores
+            if ok:
+                alloc = self._fit_from_min(
+                    np.array(m, dtype=np.int64), request, self._nodes
+                )
+                assert alloc is not None
+                return times[k], alloc
+        return None
 
     def __repr__(self) -> str:
         return (

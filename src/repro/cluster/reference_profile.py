@@ -87,6 +87,16 @@ class ReferenceAvailabilityProfile:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    def advance_to(self, time: float) -> None:
+        """Move the profile start forward to ``time``, dropping history."""
+        if time < self._times[0]:
+            raise ValueError(f"time {time} precedes profile start {self._times[0]}")
+        i = bisect.bisect_right(self._times, time) - 1
+        del self._times[:i]
+        del self._free[:i]
+        self._times[0] = time
+        self.now = float(time)
+
     def add_release(self, time: float, allocation: Allocation) -> None:
         """Cores become free from ``time`` onward.
 

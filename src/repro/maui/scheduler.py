@@ -23,6 +23,7 @@ paper's "Static" baseline configuration.
 from __future__ import annotations
 
 import logging
+import math
 
 from repro.cluster.allocation import Allocation
 from repro.cluster.machine import Cluster
@@ -105,6 +106,9 @@ class MauiScheduler:
             "dyn_handle_seconds": 0.0,  # wall-clock cost of the dynamic path
             "profile_builds": 0,
             "profile_cache_hits": 0,
+            "profile_advances": 0,
+            "profile_advance_fallbacks": 0,
+            "backfill_quick_rejects": 0,
         }
         #: availability-profile cache: one profile per partition view, valid
         #: for a single (server state, cluster state, sim time) snapshot.
@@ -112,6 +116,19 @@ class MauiScheduler:
         self.profile_cache_enabled = True
         self._profile_cache: dict[tuple[str, ...] | None, AvailabilityProfile] = {}
         self._profile_state: tuple[int, int, float] | None = None
+        #: incremental profile maintenance: when the snapshot goes stale,
+        #: advance the previous profile to the new time and apply the
+        #: claim/release deltas of jobs that started/finished/changed since,
+        #: instead of rebuilding the matrix from scratch.  Disable to force
+        #: full rebuilds (A/B tests, the equivalence oracle).
+        self.profile_incremental_enabled = True
+        #: per partition view: the last built profile plus the active-job
+        #: footprints ``job_id -> (alloc items inside the view, walltime end)``
+        #: it encodes — the diff source for the next advance
+        self._profile_bases: dict[
+            tuple[str, ...] | None,
+            tuple[AvailabilityProfile, dict[str, tuple[tuple, float]]],
+        ] = {}
         #: event-driven activation: wake-ups with no state change since the
         #: last full pass are skipped (statistics still accrue).  Disable to
         #: restore unconditional iterations (A/B tests, benchmarks).
@@ -198,6 +215,9 @@ class MauiScheduler:
             self._boundary_wake.cancel()
             self._boundary_wake = None
         self._next_reservation_start = None
+        # the incremental bases were laid out on the old node set; a changed
+        # set needs a from-scratch build (the diff only covers allocations)
+        self._profile_bases.clear()
         self.request_iteration(force=True)
 
     def _run_iteration(self) -> None:
@@ -288,10 +308,99 @@ class MauiScheduler:
         if cached is not None:
             self.stats["profile_cache_hits"] += 1
             return cached.copy()
-        self.stats["profile_builds"] += 1
-        profile = self._build_profile_uncached(partitions)
+        profile = self._advance_profile(partitions)
+        if profile is None:
+            self.stats["profile_builds"] += 1
+            profile = self._build_profile_uncached(partitions)
+            if self._incremental_usable():
+                self._profile_bases[partitions] = (
+                    profile, self._active_footprints(set(profile._nodes))
+                )
+        else:
+            self.stats["profile_advances"] += 1
         self._profile_cache[partitions] = profile
         return profile.copy()
+
+    def _incremental_usable(self) -> bool:
+        # admin reservations interact with running jobs non-locally (a
+        # reservation claim skipped because drained cores were busy must be
+        # retried when those jobs finish) — keep those configs on the
+        # always-rebuild path
+        return self.profile_incremental_enabled and not self.config.admin_reservations
+
+    def _active_footprints(
+        self, nodes: set[int]
+    ) -> dict[str, tuple[tuple, float]]:
+        """What each active job contributes to a profile over ``nodes``."""
+        snap: dict[str, tuple[tuple, float]] = {}
+        for job in self.server.active_jobs():
+            assert job.allocation is not None
+            inside = tuple(
+                sorted((n, c) for n, c in job.allocation.items() if n in nodes)
+            )
+            if inside:
+                snap[job.job_id] = (inside, job.walltime_end)
+        return snap
+
+    def _advance_profile(
+        self, partitions: tuple[str, ...] | None
+    ) -> AvailabilityProfile | None:
+        """Bring the cached base profile up to date by claim/release deltas.
+
+        The base encodes "free cores now + future releases of these active
+        jobs" as of the previous snapshot.  Advancing clips the timeline to
+        the current sim time, then per job that departed (or changed shape/
+        walltime) cancels its scheduled future release and frees its cores
+        now, and per job that arrived claims its window — O(changed jobs)
+        slice updates instead of an O(active jobs) rebuild.  Departed jobs
+        can leave *neutral* breakpoints behind (equal adjacent rows); those
+        never change the step function, window minima, or the earliest
+        feasible start, so every query stays bit-identical to a from-scratch
+        build (pinned by ``tests/test_profile_equivalence.py``).
+
+        Returns None (caller rebuilds) when incremental maintenance is off,
+        no base exists, or the post-advance free vector fails to reconcile
+        with the cluster — the self-check that keeps this path safe.
+        """
+        if not self._incremental_usable():
+            return None
+        base = self._profile_bases.get(partitions)
+        if base is None:
+            return None
+        profile, old_snap = base
+        now = self.engine.now
+        new_snap = self._active_footprints(set(profile._nodes))
+        try:
+            profile.advance_to(now)
+            for job_id, (footprint, wt_end) in old_snap.items():
+                if new_snap.get(job_id) == (footprint, wt_end):
+                    continue
+                if wt_end <= now:
+                    # the scheduled release is already fully in effect
+                    continue
+                alloc = Allocation(dict(footprint))
+                # cancel the future release first, then free the cores now —
+                # this order keeps both atomic checks satisfied
+                profile.add_claim(wt_end, math.inf, alloc)
+                profile.add_release(now, alloc)
+            for job_id, entry in new_snap.items():
+                if old_snap.get(job_id) == entry:
+                    continue
+                footprint, wt_end = entry
+                profile.add_claim(now, wt_end, Allocation(dict(footprint)))
+        except ValueError:
+            self._profile_bases.pop(partitions, None)
+            self.stats["profile_advance_fallbacks"] += 1
+            return None
+        # reconcile: free cores at `now` must equal the cluster's — the
+        # invariant every from-scratch build satisfies by construction
+        free = self.cluster.free_by_node(partitions=partitions)
+        if profile.free_at(now) != free or set(free) != set(profile._nodes):
+            self._profile_bases.pop(partitions, None)
+            self.stats["profile_advance_fallbacks"] += 1
+            return None
+        self._profile_bases[partitions] = (profile, new_snap)
+        return profile
 
     def _build_profile_uncached(
         self, partitions: tuple[str, ...] | None
@@ -378,6 +487,8 @@ class MauiScheduler:
             {} if ledger is not None else None
         )
         started, backfilled = self._start_static(ordered, now, lockdown, outcome=outcome)
+        if prof is not None:
+            prof.begin("wrap_up")
         if ledger is not None:
             # every still-queued job is classified exactly once per pass:
             # excluded (hold/dependency/throttle) or examined by the start
@@ -400,6 +511,7 @@ class MauiScheduler:
             now, len(self.server.queue), started, backfilled,
         )
         if prof is not None:
+            prof.end()
             prof.end()
         if obs is not None:
             obs.sync_stats(self.stats)
@@ -902,7 +1014,14 @@ class MauiScheduler:
         for idx, job in enumerate(ordered):
             if prof is not None:
                 prof.begin("backfill_scan")
-            alloc = working.fits_at(now, job.walltime, job.request)
+            # instantaneous-free prune: on a packed cluster most candidates
+            # fail against the free vector at `now` alone, skipping the
+            # window scan (a pure short-circuit — fits_at would return None)
+            if working.quick_reject(now, job.request):
+                self.stats["backfill_quick_rejects"] += 1
+                alloc = None
+            else:
+                alloc = working.fits_at(now, job.walltime, job.request)
             molded = False
             if alloc is None and job.moldable_floor < job.request.total_cores:
                 # moldable job: start now on the largest fitting size within
@@ -954,8 +1073,22 @@ class MauiScheduler:
                         if prof is not None:
                             prof.begin("earliest_fit")
                         try:
+                            # oversized requests fail every candidate window;
+                            # one vectorized sweep proves it without the scan
+                            if not working.can_ever_fit(job.request):
+                                raise NoFitError(
+                                    f"{job.request} never fits "
+                                    "(cluster too small or fragmented)"
+                                )
+                            # probe_start=False: this job just failed to
+                            # start at `now` against this very profile, so
+                            # the window query at the bound is already known
+                            # to fail
                             start, res_alloc = working.earliest_fit(
-                                job.request, job.walltime, after=now
+                                job.request,
+                                job.walltime,
+                                after=now,
+                                probe_start=False,
                             )
                         finally:
                             if prof is not None:

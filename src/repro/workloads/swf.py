@@ -14,6 +14,8 @@ Field reference: http://www.cs.huji.ac.il/labs/parallel/workload/swf.html
 
 from __future__ import annotations
 
+from typing import IO, Iterable, Iterator
+
 from repro.apps.synthetic import FixedRuntimeApp
 from repro.cluster.allocation import ResourceRequest
 from repro.jobs.job import JobState
@@ -69,14 +71,52 @@ def to_swf(metrics: WorkloadMetrics, *, comments: bool = True) -> str:
     return "\n".join(lines) + "\n"
 
 
+#: characters read per chunk when streaming an SWF trace from a file
+_CHUNK_SIZE = 1 << 16
+
+
+def _iter_lines(source: str | IO[str] | Iterable[str], chunk_size: int) -> Iterator[str]:
+    """Lines of an SWF source, streamed.
+
+    Accepts the whole trace as a string, an open text-mode file (read in
+    ``chunk_size``-character chunks; a record spanning a chunk boundary is
+    carried over and reassembled), or any iterable of lines.  File and
+    iterable sources are consumed lazily, so ``max_jobs`` imports of a
+    million-job archive never materialise the full text.
+    """
+    if isinstance(source, str):
+        yield from source.splitlines()
+        return
+    read = getattr(source, "read", None)
+    if read is not None:
+        tail = ""
+        while True:
+            chunk = read(chunk_size)
+            if not chunk:
+                break
+            lines = (tail + chunk).split("\n")
+            tail = lines.pop()  # partial record: completed by the next chunk
+            yield from lines
+        if tail:
+            yield tail
+        return
+    yield from source
+
+
 def from_swf(
-    text: str,
+    source: str | IO[str] | Iterable[str],
     *,
     max_jobs: int | None = None,
     walltime_factor: float = 1.2,
     default_walltime: float = 3600.0,
+    chunk_size: int = _CHUNK_SIZE,
 ) -> Workload:
-    """Parse SWF text into a rigid workload.
+    """Parse an SWF trace into a rigid workload.
+
+    ``source`` may be the full trace text, an open text-mode file, or an
+    iterable of lines; files are streamed in chunks (see :func:`_iter_lines`)
+    so archive-scale traces need not fit in memory, and ``max_jobs`` stops
+    reading as soon as enough jobs parsed.
 
     Uses requested processors (field 8, falling back to field 5), run time
     (field 4) and requested time (field 9, falling back to
@@ -84,7 +124,7 @@ def from_swf(
     skipped — SWF archives mark missing data with ``-1``.
     """
     specs: list[JobSpec] = []
-    for raw in text.splitlines():
+    for raw in _iter_lines(source, chunk_size):
         line = raw.split(";", 1)[0].strip()
         if not line:
             continue

@@ -155,3 +155,62 @@ class TestSWFImport:
         jobs = wl.submit_to(replay)
         replay.run()
         assert all(j.state is JobState.COMPLETED for j in jobs)
+
+
+class TestSWFStreaming:
+    SAMPLE = TestSWFImport.SAMPLE
+
+    def test_stream_from_file_all_chunk_sizes(self, tmp_path):
+        """Every chunk size — including ones that split a record mid-field —
+        must reassemble the spanning record and parse identically."""
+        path = tmp_path / "trace.swf"
+        path.write_text(self.SAMPLE)
+        baseline = from_swf(self.SAMPLE)
+        for chunk_size in range(1, len(self.SAMPLE) + 2):
+            with open(path) as fh:
+                wl = from_swf(fh, chunk_size=chunk_size)
+            assert wl.total_jobs == baseline.total_jobs, chunk_size
+            assert [
+                (s.submit_time, s.request.cores, s.walltime, s.user)
+                for s in wl.specs
+            ] == [
+                (s.submit_time, s.request.cores, s.walltime, s.user)
+                for s in baseline.specs
+            ], chunk_size
+
+    def test_chunk_boundary_splits_record(self, tmp_path):
+        # pin the interesting case explicitly: the boundary lands inside
+        # the second record, splitting a numeric field in two
+        path = tmp_path / "trace.swf"
+        path.write_text(self.SAMPLE)
+        first_record_end = self.SAMPLE.index("\n", self.SAMPLE.index("\n1 ")) + 1
+        chunk_size = first_record_end + 10  # 10 chars into record two
+        with open(path) as fh:
+            wl = from_swf(fh, chunk_size=chunk_size)
+        assert wl.total_jobs == 2
+        assert wl.specs[1].submit_time == 30.0
+
+    def test_stream_from_iterable_of_lines(self):
+        wl = from_swf(iter(self.SAMPLE.splitlines(keepends=True)))
+        assert wl.total_jobs == 2
+
+    def test_max_jobs_stops_reading(self):
+        """max_jobs must not consume the source past what it needs —
+        archive-scale traces are only read as far as the import goes."""
+        consumed = 0
+
+        def lines():
+            nonlocal consumed
+            for line in self.SAMPLE.splitlines():
+                consumed += 1
+                yield line
+
+        wl = from_swf(lines(), max_jobs=1)
+        assert wl.total_jobs == 1
+        assert consumed < len(self.SAMPLE.splitlines())
+
+    def test_missing_trailing_newline(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(self.SAMPLE.rstrip("\n"))
+        with open(path) as fh:
+            assert from_swf(fh, chunk_size=7).total_jobs == 2

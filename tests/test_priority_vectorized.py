@@ -1,0 +1,155 @@
+"""Vectorized-vs-scalar ranking equivalence (the bit-identity oracle).
+
+The vectorized pass in :mod:`repro.maui.priority` promises *exactly* the
+scalar results: every score equal to full float precision, every ordering
+identical.  These tests drive randomized weight/job/fairshare combinations
+through both implementations and compare without tolerance.
+"""
+
+import copy
+import random
+
+import pytest
+
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.job import Job
+from repro.maui.config import PriorityWeightsConfig
+from repro.maui.priority import FairshareTracker, JobColumns, Prioritizer
+
+TRIALS = 60
+
+
+def make_job(rng, submit=None, **kw):
+    defaults = dict(
+        request=ResourceRequest(cores=rng.randrange(1, 64)),
+        walltime=rng.uniform(1.0, 5000.0),
+        user=f"u{rng.randrange(6)}",
+        top_priority=rng.random() < 0.2,
+    )
+    defaults.update(kw)
+    job = Job(**defaults)
+    job.submit_time = (
+        rng.choice([0.0, 10.0, rng.uniform(0.0, 1000.0)]) if submit is None else submit
+    )
+    return job
+
+
+def random_prioritizer(rng):
+    weights = PriorityWeightsConfig(
+        queue_time=rng.choice([0.0, 1.0, rng.uniform(0.0, 10.0)]),
+        expansion_factor=rng.choice([0.0, rng.uniform(0.0, 5.0)]),
+        fairshare=rng.choice([0.0, rng.uniform(0.0, 100.0)]),
+        service=rng.choice([0.0, rng.uniform(0.0, 3.0)]),
+        credential=rng.choice([0.0, rng.uniform(0.0, 50.0)]),
+        user_priorities={f"u{i}": rng.uniform(-5.0, 5.0) for i in range(3)},
+    )
+    fairshare = FairshareTracker(3600.0, 0.8)
+    for u in range(6):
+        if rng.random() < 0.7:
+            fairshare.add_usage(f"u{u}", rng.uniform(0.0, 1e6))
+    return Prioritizer(weights, fairshare)
+
+
+class TestVectorizedEquivalence:
+    def test_scores_bit_identical_to_scalar(self):
+        rng = random.Random(7)
+        for _ in range(TRIALS):
+            prio = random_prioritizer(rng)
+            jobs = [make_job(rng) for _ in range(rng.randrange(1, 60))]
+            now = rng.uniform(0.0, 2000.0)
+            scores = prio.scores(JobColumns(jobs), now)
+            for job, vec_score in zip(jobs, scores.tolist()):
+                assert vec_score == prio.priority(job, now)
+
+    def test_order_identical_to_scalar(self):
+        rng = random.Random(11)
+        for _ in range(TRIALS):
+            prio = random_prioritizer(rng)
+            prio.vectorized = True  # force the numpy pass past the auto gate
+            jobs = [make_job(rng) for _ in range(rng.randrange(8, 60))]
+            now = rng.uniform(0.0, 2000.0)
+            assert prio.order(jobs, now) == prio.order_scalar(jobs, now)
+
+    def test_many_exact_ties_resolve_identically(self):
+        # equal submit times and equal priorities: the (submit, seq)
+        # tie-break chain carries the whole ordering
+        rng = random.Random(13)
+        prio = random_prioritizer(rng)
+        prio.vectorized = True
+        jobs = [make_job(rng, submit=50.0, top_priority=False) for _ in range(40)]
+        shuffled = list(jobs)
+        rng.shuffle(shuffled)
+        assert prio.order(shuffled, 100.0) == prio.order_scalar(shuffled, 100.0)
+
+    def test_auto_gate_policy(self, monkeypatch):
+        # auto mode vectorizes only deep multi-factor queues: queue-time-
+        # only scoring is two arithmetic ops per job and sorted() wins at
+        # any depth, so those configs must stay on the scalar path
+        rng = random.Random(23)
+        fairshare = FairshareTracker(3600.0, 0.8)
+        scalar_calls = []
+
+        def spy(self, jobs, now, _orig=Prioritizer.order_scalar):
+            scalar_calls.append(len(jobs))
+            return _orig(self, jobs, now)
+
+        monkeypatch.setattr(Prioritizer, "order_scalar", spy)
+        multi = Prioritizer(
+            PriorityWeightsConfig(queue_time=1.0, fairshare=10.0), fairshare
+        )
+        single = Prioritizer(PriorityWeightsConfig(queue_time=1.0), fairshare)
+        deep = [make_job(rng) for _ in range(40)]
+        shallow = deep[:4]
+        multi.order(deep, 100.0)
+        assert scalar_calls == []  # deep + multi-factor: numpy pass
+        multi.order(shallow, 100.0)
+        single.order(deep, 100.0)
+        assert scalar_calls == [4, 40]  # shallow or single-factor: scalar
+
+    def test_unsubmitted_job_rejected_in_columns(self):
+        job = Job(request=ResourceRequest(cores=1), walltime=10.0)
+        with pytest.raises(ValueError):
+            JobColumns([job])
+
+    def test_scalar_toggle_forces_reference_path(self):
+        rng = random.Random(17)
+        prio = random_prioritizer(rng)
+        prio.vectorized = False
+        jobs = [make_job(rng) for _ in range(20)]
+        assert prio.order(jobs, 500.0) == prio.order_scalar(jobs, 500.0)
+
+
+class TestVectorizedRoll:
+    def scalar_roll(self, tracker, now):
+        """The historic per-user loop, kept here as the oracle."""
+        while now >= tracker.window_start + tracker.interval:
+            tracker.window_start += tracker.interval
+            for user in list(tracker._usage):
+                tracker._usage[user] *= tracker.decay
+                if tracker._usage[user] < 1e-9:
+                    del tracker._usage[user]
+
+    def test_roll_bit_identical_to_scalar(self):
+        rng = random.Random(19)
+        for _ in range(200):
+            a = FairshareTracker(100.0, rng.choice([0.0, 0.5, 0.9, 0.99, 1.0]))
+            for u in range(8):
+                if rng.random() < 0.8:
+                    a.add_usage(
+                        f"u{u}", rng.choice([0.0, 5e-10, 1e-9, rng.uniform(0.0, 1e5)])
+                    )
+            b = copy.deepcopy(a)
+            now = rng.uniform(0.0, 3000.0)
+            a.roll(now)
+            self.scalar_roll(b, now)
+            assert a.window_start == b.window_start
+            assert a._usage == b._usage
+            # dict iteration order feeds the sequential total_usage sum, so
+            # insertion order must survive the vectorized roll too
+            assert list(a._usage) == list(b._usage)
+            assert a.total_usage == b.total_usage
+
+    def test_roll_without_users_still_advances_window(self):
+        fs = FairshareTracker(100.0, 0.5)
+        fs.roll(250.0)
+        assert fs.window_start == 200.0

@@ -153,9 +153,12 @@ def run_sequence(rng: random.Random) -> None:
             start = now + rng.uniform(0, horizon)
             duration = random_duration(rng)
             request = random_request(rng, num_nodes, cores_per_node)
-            assert new.fits_at(start, duration, request) == ref.fits_at(
-                start, duration, request
-            )
+            got = new.fits_at(start, duration, request)
+            assert got == ref.fits_at(start, duration, request)
+            # the backfill prune is a pure short-circuit: a quick-rejected
+            # request must be one fits_at would have refused anyway
+            if new.quick_reject(start, request):
+                assert got is None
         elif op < 0.80:  # earliest_fit
             duration = random_duration(rng)
             request = random_request(rng, num_nodes, cores_per_node)
@@ -172,10 +175,25 @@ def run_sequence(rng: random.Random) -> None:
             except NoFitError:
                 pass
             assert got_new == got_ref
-        elif op < 0.88:  # node failure: churn nodes out of the profile
+            # can_ever_fit False promises earliest_fit raises for any duration
+            if not new.can_ever_fit(request):
+                assert got_new is None
+        elif op < 0.86:  # node failure: churn nodes out of the profile
             fail_node_op(rng, new, ref, now, horizon, downed, nodes)
-        elif op < 0.96:  # node recovery: churn them back in
+        elif op < 0.93:  # node recovery: churn them back in
             recover_node_op(rng, new, ref, horizon, downed)
+        elif op < 0.97:  # advance: clip history, every later query unchanged
+            t = now + rng.uniform(0, horizon / 4)
+            survivors = [bp for bp in ref.breakpoints if bp >= t]
+            expected = {bp: ref.free_at(bp) for bp in survivors}
+            expected_at_t = ref.free_at(t)
+            new.advance_to(t)
+            ref.advance_to(t)
+            now = t  # later ops must respect the new profile start
+            assert new.breakpoints[0] == t
+            assert new.free_at(t) == expected_at_t
+            for bp in survivors:
+                assert new.free_at(bp) == expected[bp]
         else:  # copy: keep working on the clones, originals must not move
             before = (new.breakpoints, {t: new.free_at(t) for t in new.breakpoints})
             new2, ref2 = new.copy(), ref.copy()
@@ -228,3 +246,56 @@ def test_failed_release_is_atomic():
     with pytest.raises(ValueError, match="exceeds node capacity"):
         profile.add_release(0.0, Allocation({0: 3, 1: 2}))
     assert {t: profile.free_at(t) for t in profile.breakpoints} == before
+
+
+def test_advance_preserves_queries_and_rejects_past():
+    profile = AvailabilityProfile([0, 1], {0: 4, 1: 4}, 0.0, {0: 4, 1: 4})
+    profile.add_claim(10.0, 20.0, Allocation({0: 3}))
+    fit_before = profile.earliest_fit(ResourceRequest(cores=7), 5.0, after=12.0)
+    profile.advance_to(12.0)
+    assert profile.breakpoints[0] == 12.0
+    assert profile.now == 12.0
+    assert profile.free_at(12.0) == {0: 1, 1: 4}
+    assert profile.earliest_fit(ResourceRequest(cores=7), 5.0, after=12.0) == fit_before
+    with pytest.raises(ValueError, match="precedes profile start"):
+        profile.advance_to(5.0)
+
+
+def test_incremental_scheduler_profile_matches_scratch_rebuild():
+    """The scheduler's incremental advance is pinned to the from-scratch
+    build: at every advance during a full ESP run, the advanced profile's
+    step function (over the union of both breakpoint sets — the advance may
+    keep semantically-neutral leftovers) must equal the scratch rebuild's.
+    """
+    from repro.experiments.configs import all_configurations
+    from repro.maui.scheduler import MauiScheduler
+    from repro.system import BatchSystem
+    from repro.workloads.esp import make_esp_workload
+
+    original = MauiScheduler._advance_profile
+    advances = 0
+
+    def checked(self, partitions):
+        nonlocal advances
+        profile = original(self, partitions)
+        if profile is not None:
+            advances += 1
+            scratch = self._build_profile_uncached(partitions)
+            assert profile._nodes == scratch._nodes
+            for t in sorted(set(profile.breakpoints) | set(scratch.breakpoints)):
+                assert profile.free_at(t) == scratch.free_at(t), t
+        return profile
+
+    MauiScheduler._advance_profile = checked
+    try:
+        config = next(c for c in all_configurations() if c.name == "Dyn-HP")
+        system = BatchSystem(num_nodes=8, cores_per_node=4, config=config.maui)
+        workload = make_esp_workload(
+            total_cores=32, dynamic=config.dynamic_workload, seed=2014
+        )
+        workload.submit_to(system)
+        system.run(max_events=5_000_000)
+    finally:
+        MauiScheduler._advance_profile = original
+    assert advances > 100
+    assert system.scheduler.stats["profile_advance_fallbacks"] == 0
