@@ -105,10 +105,13 @@ def test_profile_earliest_fit_under_load(benchmark):
     )
 
 
-def _loaded_system() -> BatchSystem:
-    system = BatchSystem(
-        15, 8, MauiConfig(reservation_depth=5, reservation_delay_depth=5)
-    )
+def _loaded_system(shards: int | None = None) -> BatchSystem:
+    config = MauiConfig(reservation_depth=5, reservation_delay_depth=5)
+    if shards is not None:
+        config = MauiConfig(
+            reservation_depth=5, reservation_delay_depth=5, scheduler_shards=shards
+        )
+    system = BatchSystem(15, 8, config)
     # fill the machine
     for i in range(15):
         system.submit(
@@ -144,6 +147,35 @@ def test_scheduler_iteration_deep_queue(benchmark, cache):
         f"scheduler_iteration_deep_queue_{'cache_on' if cache else 'cache_off'}",
         wall_seconds=benchmark.stats.stats.mean,
         queued_jobs=60,
+    )
+
+
+@pytest.mark.benchmark(group="kernel")
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_scheduler_iteration_deep_queue_sharded(benchmark, shards):
+    """The deep-queue iteration against shard-sized profile matrices.
+
+    Same stimulus as :func:`test_scheduler_iteration_deep_queue` (cache
+    on), but the static pass runs per shard: planning and backfill scans
+    touch matrices of ~15/N nodes instead of 15, and quiescent shards are
+    skipped outright on echo wake-ups.  The headline sharding number —
+    compare against the single-matrix ``scheduler_iteration_deep_queue_
+    cache_on`` baseline (330 µs in BENCH_PR7).
+    """
+
+    def setup():
+        return (_loaded_system(shards=shards),), {}
+
+    def iterate(system):
+        system.scheduler.iteration()
+
+    benchmark.pedantic(iterate, setup=setup, rounds=50, warmup_rounds=2, iterations=1)
+    record_bench(
+        "kernel",
+        f"scheduler_iteration_deep_queue_shards{shards}",
+        wall_seconds=benchmark.stats.stats.mean,
+        queued_jobs=60,
+        shards=shards,
     )
 
 

@@ -119,6 +119,7 @@ def _cmd_table2(args) -> str:
             decision_ledger=args.ledger,
             profile=args.profile,
             window_width=args.window_width,
+            shards=getattr(args, "shards", None),
         )
         if args.telemetry_out is None:
             return render_table2(results)
@@ -131,7 +132,11 @@ def _cmd_table2(args) -> str:
         )
     from repro.experiments.table2 import run_table2
 
-    return render_table2(run_table2(seed=args.seed, workers=args.jobs))
+    return render_table2(
+        run_table2(
+            seed=args.seed, workers=args.jobs, shards=getattr(args, "shards", None)
+        )
+    )
 
 
 def _cmd_fig7(args) -> str:
@@ -610,6 +615,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults",
         action="store_true",
         help="table2: rerun the configurations under seeded fault injection",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "table2: override the scheduler shard count "
+            "(0 = legacy monolithic pass; default: config value)"
+        ),
     )
     parser.add_argument(
         "--fault-seed",

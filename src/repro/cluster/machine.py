@@ -34,6 +34,21 @@ class Cluster:
         #: monotone counter bumped on every allocation/state change; lets
         #: callers (the scheduler's profile cache) detect staleness in O(1)
         self.version: int = 0
+        #: free-map cache: the backfill path asks for the same partition
+        #: (or shard) view many times per scheduling pass, and the answer
+        #: only changes when :attr:`version` does — cache the scan, hand
+        #: out copies (callers like :meth:`find_allocation` mutate theirs)
+        self._free_cache: dict = {}
+        self._free_cache_version: int = -1
+        #: per-shard monotone version counters (installed by the sharded
+        #: scheduler); index ``shard_versions[s]`` bumps whenever a claim,
+        #: release or node state change touches a node of shard ``s``
+        self.shard_versions: list[int] = []
+        self._shard_of_node: dict[int, int] | None = None
+        #: bumps only on node fail/recover — UP *capacity* (what shard
+        #: routing keys on) never changes on a claim or release, so
+        #: capability memos keyed here survive ordinary scheduling churn
+        self.topology_version: int = 0
 
     def attach_telemetry(self, telemetry, clock) -> None:
         """Report busy-core changes to a telemetry facade.
@@ -95,14 +110,66 @@ class Cluster:
     def free_cores(self) -> int:
         return sum(n.free for n in self.nodes)
 
+    def _cached_free(self, key, build) -> dict[int, int]:
+        """Version-keyed memo for free-map scans; returns a private copy."""
+        if self._free_cache_version != self.version:
+            self._free_cache_version = self.version
+            self._free_cache.clear()
+        cached = self._free_cache.get(key)
+        if cached is None:
+            cached = self._free_cache[key] = build()
+        return dict(cached)
+
     def free_by_node(self, *, partitions: Iterable[str] | None = None) -> dict[int, int]:
         """Free cores per UP node, optionally restricted to partitions."""
-        wanted = set(partitions) if partitions is not None else None
-        return {
-            n.index: n.free
-            for n in self.nodes
-            if n.state is NodeState.UP and (wanted is None or n.partition in wanted)
-        }
+        wanted = frozenset(partitions) if partitions is not None else None
+
+        def build() -> dict[int, int]:
+            return {
+                n.index: n.free
+                for n in self.nodes
+                if n.state is NodeState.UP
+                and (wanted is None or n.partition in wanted)
+            }
+
+        return self._cached_free(("partitions", wanted), build)
+
+    def free_for_nodes(self, node_indices: Iterable[int]) -> dict[int, int]:
+        """Free cores per UP node over an explicit node index set.
+
+        The sharded scheduler's per-shard profile builds go through this
+        instead of scanning all nodes; the answer is cached per
+        :attr:`version` like :meth:`free_by_node`.
+        """
+        wanted = tuple(node_indices)
+
+        def build() -> dict[int, int]:
+            return {
+                idx: self._by_index[idx].free
+                for idx in wanted
+                if self._by_index[idx].state is NodeState.UP
+            }
+
+        return self._cached_free(("nodes", wanted), build)
+
+    # ------------------------------------------------------------------
+    # shard bookkeeping
+    # ------------------------------------------------------------------
+    def install_shard_index(
+        self, shard_of_node: dict[int, int], num_shards: int
+    ) -> None:
+        """Enable per-shard version counters for the sharded scheduler."""
+        self._shard_of_node = dict(shard_of_node)
+        self.shard_versions = [0] * num_shards
+
+    def _bump_shards_for(self, node_indices: Iterable[int]) -> None:
+        mapping = self._shard_of_node
+        if mapping is None:
+            return
+        for idx in node_indices:
+            shard = mapping.get(idx)
+            if shard is not None:
+                self.shard_versions[shard] += 1
 
     # ------------------------------------------------------------------
     # allocation
@@ -168,6 +235,7 @@ class Cluster:
         for idx, count in allocation.items():
             self._by_index[idx].used += count
         self.version += 1
+        self._bump_shards_for(allocation)
         if self._obs is not None:
             self._obs.on_busy_change(self.used_cores)
 
@@ -184,6 +252,7 @@ class Cluster:
         for idx, count in allocation.items():
             self._by_index[idx].used -= count
         self.version += 1
+        self._bump_shards_for(allocation)
         if self._obs is not None:
             self._obs.on_busy_change(self.used_cores)
 
@@ -203,6 +272,8 @@ class Cluster:
             return False
         node.state = NodeState.DOWN
         self.version += 1
+        self.topology_version += 1
+        self._bump_shards_for((index,))
         log.warning("node %s marked DOWN", node.name)
         return True
 
@@ -213,6 +284,8 @@ class Cluster:
             return False
         node.state = NodeState.UP
         self.version += 1
+        self.topology_version += 1
+        self._bump_shards_for((index,))
         log.info("node %s recovered", node.name)
         return True
 

@@ -119,6 +119,57 @@ class AvailabilityProfile:
         clone._qr_memo = None
         return clone
 
+    @classmethod
+    def merge(cls, profiles: Sequence["AvailabilityProfile"]) -> "AvailabilityProfile":
+        """Gather disjoint per-shard profiles into one full-machine view.
+
+        The cross-shard merge step of the sharded scheduler: shard
+        profiles cover disjoint node sets and start at the same time, so
+        the merged step function is the union of their breakpoints with
+        each shard's rows resampled onto it (``searchsorted`` per shard)
+        and the node columns concatenated in shard order.  Because shards
+        are contiguous runs of the ascending node order, the concatenated
+        node tuple reproduces the global node order — every query on the
+        merged view answers exactly as on a monolithic build of the same
+        state.  Cost: O(B_union · nodes), about one profile copy.
+        """
+        if not profiles:
+            raise ValueError("merge needs at least one profile")
+        if len(profiles) == 1:
+            return profiles[0].copy()
+        clone = object.__new__(cls)
+        nodes: list[int] = []
+        for p in profiles:
+            nodes.extend(p._nodes)
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("merged profiles must cover disjoint node sets")
+        clone._nodes = tuple(nodes)
+        clone._pos = {idx: i for i, idx in enumerate(clone._nodes)}
+        times = sorted({t for p in profiles for t in p._times})
+        clone.now = times[0]
+        clone._times = list(times)
+        n = len(times)
+        times_arr = np.array(times)
+        clone._mat = np.empty((n + _HEADROOM, len(clone._nodes)), dtype=np.int64)
+        col = 0
+        for p in profiles:
+            pn = len(p._times)
+            rows = np.searchsorted(np.array(p._times), times_arr, side="right") - 1
+            np.clip(rows, 0, pn - 1, out=rows)
+            width = len(p._nodes)
+            clone._mat[:n, col : col + width] = p._mat[:pn][rows]
+            col += width
+        sorted_order = np.argsort(np.array(clone._nodes, dtype=np.int64), kind="stable")
+        clone._sorted_nodes = np.array(clone._nodes, dtype=np.int64)[sorted_order]
+        clone._sorted_cols = sorted_order
+        if any(p._capacity is None for p in profiles):
+            clone._capacity = None
+        else:
+            clone._capacity = np.concatenate([p._capacity for p in profiles])
+        clone._gen = 0
+        clone._qr_memo = None
+        return clone
+
     def _vector(self, allocation: Allocation) -> np.ndarray:
         vec = np.zeros(len(self._nodes), dtype=np.int64)
         nodes, counts = allocation.arrays()

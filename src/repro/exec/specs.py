@@ -85,14 +85,16 @@ class Table2RunSpec:
     seed: int
     num_nodes: int = 15
     cores_per_node: int = 8
+    shards: int | None = None
 
 
 def run_table2_result(spec: Table2RunSpec):
     """Simulate one configuration and return the (picklable) ESPResult."""
     from repro.experiments.runner import run_esp_configuration
+    from repro.experiments.table2 import with_shards
 
     return run_esp_configuration(
-        _configuration(spec.config_name),
+        with_shards(_configuration(spec.config_name), spec.shards),
         num_nodes=spec.num_nodes,
         cores_per_node=spec.cores_per_node,
         seed=spec.seed,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from pathlib import Path
 
 from repro.experiments.configs import all_configurations
@@ -12,28 +13,47 @@ from repro.experiments.runner import (
 )
 from repro.metrics.report import render_table
 
-__all__ = ["run_table2", "run_table2_instrumented", "render_table2"]
+__all__ = ["run_table2", "run_table2_instrumented", "render_table2", "with_shards"]
+
+
+def with_shards(configuration, shards: int | None):
+    """Return the configuration with a scheduler-shard-count override."""
+    if shards is None:
+        return configuration
+    return dataclasses.replace(
+        configuration,
+        maui=dataclasses.replace(configuration.maui, scheduler_shards=shards),
+    )
 
 
 def run_table2(
-    seed: int = 2014, *, workers: int = 1, telemetry=None
+    seed: int = 2014, *, workers: int = 1, telemetry=None, shards: int | None = None
 ) -> list[ESPResult]:
     """Run (or reuse) all four configurations; Static is the baseline row.
 
     Serial runs go through the on-disk result cache as before.  With
     ``workers > 1`` the four configurations run as fresh simulations in
     worker processes (the pickle cache is a per-process optimisation;
-    results are identical either way).
+    results are identical either way).  ``shards`` overrides the scheduler
+    shard count (0 = the monolithic oracle pass); shard-overridden runs
+    bypass the result cache so they never alias the default entries.
     """
     from repro.exec import map_specs, resolve_workers
     from repro.exec.specs import Table2RunSpec, run_table2_result
 
     if resolve_workers(workers) == 1:
+        if shards is None:
+            return [
+                run_esp_configuration_cached(cfg.name, seed=seed)
+                for cfg in all_configurations()
+            ]
         return [
-            run_esp_configuration_cached(cfg.name, seed=seed)
+            run_esp_configuration(with_shards(cfg, shards), seed=seed)
             for cfg in all_configurations()
         ]
-    specs = [Table2RunSpec(cfg.name, seed) for cfg in all_configurations()]
+    specs = [
+        Table2RunSpec(cfg.name, seed, shards=shards) for cfg in all_configurations()
+    ]
     return map_specs(
         run_table2_result, specs, workers=workers, telemetry=telemetry, label="table2"
     )
@@ -46,6 +66,7 @@ def run_table2_instrumented(
     decision_ledger: bool = False,
     profile: bool = False,
     window_width: float = 600.0,
+    shards: int | None = None,
 ) -> list[ESPResult]:
     """Table II with full telemetry: fresh runs, one Telemetry each.
 
@@ -59,7 +80,9 @@ def run_table2_instrumented(
     profiler and windowed aggregates run too, dumped as
     ``<config>.phases.jsonl`` and ``<config>.windows.jsonl``
     (``window_width`` sim-seconds per tumbling window); both are readable
-    by the ``perf-report`` subcommand.
+    by the ``perf-report`` subcommand.  ``shards`` overrides the scheduler
+    shard count — the CI sharded-vs-unsharded golden check runs this twice
+    (``shards=1`` vs ``shards=0``) and byte-compares the dumps.
     """
     from repro.obs import Telemetry, export_jsonl, to_prometheus_text
 
@@ -70,7 +93,9 @@ def run_table2_instrumented(
             profiling=profile,
             windows=window_width if profile else None,
         )
-        result = run_esp_configuration(cfg, seed=seed, telemetry=telemetry)
+        result = run_esp_configuration(
+            with_shards(cfg, shards), seed=seed, telemetry=telemetry
+        )
         results.append(result)
         if out_dir is not None:
             out = Path(out_dir)

@@ -180,6 +180,13 @@ class MauiConfig:
     #: "smallest_first" (cheapest requests first, maximising grant count)
     dynamic_request_order: str = "fifo"
     weights: "PriorityWeightsConfig" = field(default_factory=lambda: PriorityWeightsConfig())
+    #: per-partition scheduler sharding: number of shards each static
+    #: partition is split into (``repro.maui.shards``).  1 (the default)
+    #: runs the sharded pass over a single shard — bit-identical to the
+    #: monolithic scheduler; >= 2 plans each shard independently with a
+    #: cross-shard merge for spanning jobs; 0 keeps the legacy monolithic
+    #: pass (the A/B oracle for the equivalence tests).
+    scheduler_shards: int = 1
     #: optional periodic wake-up (Maui's polling timer); None = purely
     #: event-driven, which is sufficient for deterministic simulation.
     timer_interval: float | None = None
@@ -190,6 +197,10 @@ class MauiConfig:
     def __post_init__(self) -> None:
         if self.reservation_depth < 0 or self.reservation_delay_depth < 0:
             raise ValueError("depths must be non-negative")
+        if self.scheduler_shards < 0:
+            raise ValueError(
+                f"scheduler_shards must be >= 0: {self.scheduler_shards}"
+            )
         for cap in (self.max_running_jobs_per_user, self.max_eligible_jobs_per_user):
             if cap is not None and cap < 1:
                 raise ValueError(f"throttling caps must be >= 1: {cap}")
@@ -328,6 +339,8 @@ def parse_maui_config(text: str, base: MauiConfig | None = None) -> MauiConfig:
             config.reservation_depth = int(value)
         elif keyword == "RESERVATIONDELAYDEPTH":
             config.reservation_delay_depth = int(value)
+        elif keyword == "SCHEDULERSHARDS":
+            config.scheduler_shards = int(value)
         elif keyword == "BACKFILLPOLICY":
             policy = value.upper()
             if policy not in ("FIRSTFIT", "NONE"):

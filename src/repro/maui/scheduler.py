@@ -37,6 +37,7 @@ from repro.maui.partition import find_dynamic_allocation, static_partitions
 from repro.maui.preemption import plan_preemption
 from repro.maui.priority import FairshareTracker, Prioritizer
 from repro.maui.reservations import StaticPlan, plan_static
+from repro.maui.shards import SchedulerShard, ShardMap
 from repro.obs.clock import perf_ns as _perf_ns
 from repro.rms.server import Server
 from repro.sim.engine import Engine, PRIORITY_SCHEDULER
@@ -109,7 +110,50 @@ class MauiScheduler:
             "profile_advances": 0,
             "profile_advance_fallbacks": 0,
             "backfill_quick_rejects": 0,
+            "shard_merges": 0,
+            "shard_passes_skipped": 0,
         }
+        #: per-partition scheduler sharding (:mod:`repro.maui.shards`).
+        #: ``scheduler_shards >= 1`` routes the static pass through
+        #: shard-sized profiles (1 shard is bit-identical to the monolithic
+        #: pass); 0 keeps the legacy monolithic pass as the A/B oracle.
+        self.sharded_pass_enabled = self.config.scheduler_shards >= 1
+        self._shard_map: ShardMap | None = None
+        if self.sharded_pass_enabled:
+            self._shard_map = ShardMap.build(
+                cluster,
+                max(1, self.config.scheduler_shards),
+                partitions=static_partitions(self.config),
+            )
+            if len(self._shard_map) > 1:
+                cluster.install_shard_index(
+                    self._shard_map.node_to_shard, len(self._shard_map)
+                )
+        #: per-shard pass skip (multi-shard only): a shard whose cluster
+        #: slice, routed queue and active-job walltimes are unchanged since
+        #: its last planning pass — and whose earliest planned reservation
+        #: is still in the future — reuses that pass's outcome instead of
+        #: re-planning.  Disable for A/B equivalence runs.
+        self.shard_skip_enabled = True
+        self._shard_pass_cache: dict[int, dict] = {}
+        #: sticky job -> shard-index assignments, made least-loaded-first
+        #: in deterministic pass order and kept while the job queues —
+        #: stable routing is what keeps the per-shard routed tuples (and
+        #: with them the pass-skip fingerprints) quiescent between passes.
+        #: Deliberately NOT keyed on ``Job.seq``: that is a process-global
+        #: counter and not stable across runs in one process.
+        self._route_assign: dict[str, tuple] = {}
+        self._route_memo: dict = {}
+        self._route_memo_version = -1
+        #: job_id -> (allocation, touched-shard tuple); allocations are
+        #: immutable (expansion rebinds ``job.allocation``), so identity
+        #: comparison detects any change — see :meth:`_shard_fingerprints`
+        self._touched_memo: dict = {}
+        #: ((shard versions, walltime epoch), {sid: active-sig tuple});
+        #: every active-set or allocation change bumps a shard version and
+        #: extensions bump the epoch, so an unchanged key proves the whole
+        #: signature structure is current
+        self._active_sig_cache: tuple | None = None
         #: availability-profile cache: one profile per partition view, valid
         #: for a single (server state, cluster state, sim time) snapshot.
         #: Disable to benchmark the uncached hot path.
@@ -129,6 +173,9 @@ class MauiScheduler:
             tuple[str, ...] | None,
             tuple[AvailabilityProfile, dict[str, tuple[tuple, float]]],
         ] = {}
+        #: per view key: job_id -> (allocation, footprint inside the view),
+        #: the identity-keyed memo behind :meth:`_active_footprints`
+        self._footprint_memos: dict = {}
         #: event-driven activation: wake-ups with no state change since the
         #: last full pass are skipped (statistics still accrue).  Disable to
         #: restore unconditional iterations (A/B tests, benchmarks).
@@ -218,6 +265,14 @@ class MauiScheduler:
         # the incremental bases were laid out on the old node set; a changed
         # set needs a from-scratch build (the diff only covers allocations)
         self._profile_bases.clear()
+        self._footprint_memos.clear()
+        # shard pass outcomes and capability routing were computed on the
+        # old node set too
+        self._shard_pass_cache.clear()
+        self._route_memo.clear()
+        self._route_memo_version = -1
+        self._touched_memo.clear()
+        self._active_sig_cache = None
         self.request_iteration(force=True)
 
     def _run_iteration(self) -> None:
@@ -274,51 +329,65 @@ class MauiScheduler:
     # ------------------------------------------------------------------
     # profile construction
     # ------------------------------------------------------------------
-    def _build_profile(
-        self, partitions: tuple[str, ...] | None
-    ) -> AvailabilityProfile:
-        """Current + future availability over the given partitions (cached).
+    @staticmethod
+    def _view_key(view):
+        """Cache key for a profile view: a partitions tuple, None (all
+        nodes), or a :class:`SchedulerShard` (its ``cache_key`` carries an
+        int, so it can never collide with the all-string partition tuples).
+        """
+        return view.cache_key if isinstance(view, SchedulerShard) else view
 
-        Profiles are pure functions of (server state, cluster allocation
-        state, simulation time); both state counters are monotone, so a
-        three-way snapshot comparison detects staleness in O(1).  A cache
-        hit hands out a :meth:`~AvailabilityProfile.copy` because every
-        caller mutates its working profile with hypothetical claims.
+    def _view_free(self, view) -> dict[int, int]:
+        """The cluster's free map over a profile view."""
+        if isinstance(view, SchedulerShard):
+            return self.cluster.free_for_nodes(view.nodes)
+        return self.cluster.free_by_node(partitions=view)
+
+    def _build_profile(self, view) -> AvailabilityProfile:
+        """Current + future availability over the given view (cached).
+
+        ``view`` is a partitions tuple (or None for all nodes) — the
+        monolithic paths — or a :class:`SchedulerShard` for the sharded
+        static pass.  Profiles are pure functions of (server state, cluster
+        allocation state, simulation time); both state counters are
+        monotone, so a three-way snapshot comparison detects staleness in
+        O(1).  A cache hit hands out a
+        :meth:`~AvailabilityProfile.copy` because every caller mutates its
+        working profile with hypothetical claims.
         """
         prof = self._prof
         if prof is None:
-            return self._build_profile_cached(partitions)
+            return self._build_profile_cached(view)
         prof.begin("profile_build")
         try:
-            return self._build_profile_cached(partitions)
+            return self._build_profile_cached(view)
         finally:
             prof.end()
 
-    def _build_profile_cached(
-        self, partitions: tuple[str, ...] | None
-    ) -> AvailabilityProfile:
+    def _build_profile_cached(self, view) -> AvailabilityProfile:
         if not self.profile_cache_enabled:
             self.stats["profile_builds"] += 1
-            return self._build_profile_uncached(partitions)
+            return self._build_profile_uncached(view)
+        key = self._view_key(view)
         state = (self.server.state_version, self.cluster.version, self.engine.now)
         if state != self._profile_state:
             self._profile_state = state
             self._profile_cache.clear()
-        cached = self._profile_cache.get(partitions)
+        cached = self._profile_cache.get(key)
         if cached is not None:
             self.stats["profile_cache_hits"] += 1
             return cached.copy()
-        profile = self._advance_profile(partitions)
+        profile = self._advance_profile(view)
         if profile is None:
             self.stats["profile_builds"] += 1
-            profile = self._build_profile_uncached(partitions)
+            profile = self._build_profile_uncached(view)
             if self._incremental_usable():
-                self._profile_bases[partitions] = (
-                    profile, self._active_footprints(set(profile._nodes))
+                self._profile_bases[key] = (
+                    profile, self._active_footprints(set(profile._nodes), key)
                 )
         else:
             self.stats["profile_advances"] += 1
-        self._profile_cache[partitions] = profile
+        self._profile_cache[key] = profile
         return profile.copy()
 
     def _incremental_usable(self) -> bool:
@@ -329,22 +398,37 @@ class MauiScheduler:
         return self.profile_incremental_enabled and not self.config.admin_reservations
 
     def _active_footprints(
-        self, nodes: set[int]
+        self, nodes: set[int], view_key=None
     ) -> dict[str, tuple[tuple, float]]:
-        """What each active job contributes to a profile over ``nodes``."""
+        """What each active job contributes to a profile over ``nodes``.
+
+        The node intersection is a pure function of the (immutable)
+        allocation, so per view it is memoized on allocation identity —
+        expansion rebinds ``job.allocation`` and always misses.  Walltime
+        ends are read fresh every call (extensions mutate the job in
+        place).  Rebuilding the per-view memo dict each call prunes
+        finished jobs for free.
+        """
         snap: dict[str, tuple[tuple, float]] = {}
+        memo = self._footprint_memos.get(view_key) if view_key is not None else None
+        fresh: dict = {}
         for job in self.server.active_jobs():
-            assert job.allocation is not None
-            inside = tuple(
-                sorted((n, c) for n, c in job.allocation.items() if n in nodes)
-            )
-            if inside:
-                snap[job.job_id] = (inside, job.walltime_end)
+            alloc = job.allocation
+            assert alloc is not None
+            cached = memo.get(job.job_id) if memo is not None else None
+            if cached is None or cached[0] is not alloc:
+                inside = tuple(
+                    sorted((n, c) for n, c in alloc.items() if n in nodes)
+                )
+                cached = (alloc, inside)
+            fresh[job.job_id] = cached
+            if cached[1]:
+                snap[job.job_id] = (cached[1], job.walltime_end)
+        if view_key is not None:
+            self._footprint_memos[view_key] = fresh
         return snap
 
-    def _advance_profile(
-        self, partitions: tuple[str, ...] | None
-    ) -> AvailabilityProfile | None:
+    def _advance_profile(self, view) -> AvailabilityProfile | None:
         """Bring the cached base profile up to date by claim/release deltas.
 
         The base encodes "free cores now + future releases of these active
@@ -364,12 +448,13 @@ class MauiScheduler:
         """
         if not self._incremental_usable():
             return None
-        base = self._profile_bases.get(partitions)
+        key = self._view_key(view)
+        base = self._profile_bases.get(key)
         if base is None:
             return None
         profile, old_snap = base
         now = self.engine.now
-        new_snap = self._active_footprints(set(profile._nodes))
+        new_snap = self._active_footprints(set(profile._nodes), key)
         try:
             profile.advance_to(now)
             for job_id, (footprint, wt_end) in old_snap.items():
@@ -389,30 +474,28 @@ class MauiScheduler:
                 footprint, wt_end = entry
                 profile.add_claim(now, wt_end, Allocation(dict(footprint)))
         except ValueError:
-            self._profile_bases.pop(partitions, None)
+            self._profile_bases.pop(key, None)
             self.stats["profile_advance_fallbacks"] += 1
             return None
         # reconcile: free cores at `now` must equal the cluster's — the
         # invariant every from-scratch build satisfies by construction
-        free = self.cluster.free_by_node(partitions=partitions)
+        free = self._view_free(view)
         if profile.free_at(now) != free or set(free) != set(profile._nodes):
-            self._profile_bases.pop(partitions, None)
+            self._profile_bases.pop(key, None)
             self.stats["profile_advance_fallbacks"] += 1
             return None
-        self._profile_bases[partitions] = (profile, new_snap)
+        self._profile_bases[key] = (profile, new_snap)
         return profile
 
-    def _build_profile_uncached(
-        self, partitions: tuple[str, ...] | None
-    ) -> AvailabilityProfile:
-        """Current + future availability over the given partitions.
+    def _build_profile_uncached(self, view) -> AvailabilityProfile:
+        """Current + future availability over the given view.
 
         Running jobs release their full (possibly expanded) allocation at
         their walltime end — the scheduler plans with walltimes, not with
         the actual completion times it cannot know.
         """
         now = self.engine.now
-        free = self.cluster.free_by_node(partitions=partitions)
+        free = self._view_free(view)
         capacity = {
             n.index: n.cores for n in self.cluster.nodes if n.index in free
         }
@@ -995,7 +1078,23 @@ class MauiScheduler:
         ``outcome`` (ledger only) collects ``job_id -> (cause, detail)`` for
         every examined-but-not-started job plus everything left unexamined
         when the pass stops early.
+
+        With ``scheduler_shards >= 1`` (the default) the pass runs sharded
+        (:meth:`_start_static_sharded`); ``scheduler_shards == 0`` keeps
+        this monolithic walk — the A/B oracle the single-shard path is
+        pinned bit-identical against.
         """
+        if self.sharded_pass_enabled:
+            return self._start_static_sharded(ordered, now, lockdown, outcome=outcome)
+        return self._start_static_monolithic(ordered, now, lockdown, outcome=outcome)
+
+    def _start_static_monolithic(
+        self,
+        ordered: list[Job],
+        now: float,
+        lockdown: bool,
+        outcome: dict[str, tuple[str, str | None]] | None = None,
+    ) -> tuple[int, int]:
         prof = self._prof
         if prof is not None:
             prof.begin("static_pass")
@@ -1156,6 +1255,443 @@ class MauiScheduler:
                 reason = f"blocked top-priority job {ordered[stopped_at].job_id}"
             for job in ordered[stopped_at + 1 :]:
                 outcome[job.job_id] = ("backfill_blocked", reason)
+        if prof is not None:
+            prof.end()
+        return started, backfilled
+
+    # ------------------------------------------------------------------
+    # the sharded static pass (repro.maui.shards)
+    # ------------------------------------------------------------------
+    def _route(
+        self, job: Job, loads: dict[int, int]
+    ) -> SchedulerShard | None:
+        """Deterministic, run-stable shard for a queued job.
+
+        Capable shards (UP capacity could ever satisfy the request) are
+        memoized per request shape and cluster topology version (bumped
+        only on node fail/recover — ordinary claims and releases never
+        change UP capacity, so the memo survives them).  A first-seen job
+        is assigned the capable shard with the fewest queued cores routed
+        so far this pass (lowest index on ties) and keeps that assignment
+        while it queues; ``loads`` is the per-pass queued-core tally,
+        recomputed from the priority walk each pass so departed jobs never
+        leave stale weight behind.  ``None`` means no single shard can
+        host the request (a full-machine ESP Z job, an oversized shape):
+        the caller plans it on the cross-shard merge.
+        """
+        topo = self.cluster.topology_version
+        if self._route_memo_version != topo:
+            self._route_memo_version = topo
+            self._route_memo.clear()
+        req = job.request
+        assigned = self._route_assign.get(job.job_id)
+        if assigned is not None:
+            if assigned[0] is req and assigned[2] == topo:
+                # fast path: assignment sticky, request object unchanged
+                # (qalter rebinds it) and topology unchanged since the
+                # assignment was validated — no capability lookup needed
+                sid = assigned[1]
+                loads[sid] += req.total_cores
+                return self._shard_map.shards[sid]
+            sid = assigned[1]
+        else:
+            sid = None
+        req_key = (req.cores, req.nodes, req.ppn)
+        memo = self._route_memo.get(req_key)
+        if memo is None:
+            capable = self._shard_map.capable_shards(self.cluster, req)
+            memo = (capable, frozenset(s.index for s in capable))
+            self._route_memo[req_key] = memo
+        capable, capable_ids = memo
+        if not capable:
+            return None
+        if sid is None or sid not in capable_ids:
+            # least-loaded assignment; a vanished shard (node failures
+            # shrank its capacity below the request) re-routes here
+            best = min(capable, key=lambda s: (loads[s.index], s.index))
+            sid = best.index
+        self._route_assign[job.job_id] = (req, sid, topo)
+        loads[sid] += req.total_cores
+        return self._shard_map.shards[sid]
+
+    def _shard_fingerprints(
+        self, ordered: list[Job], routes: list[SchedulerShard | None]
+    ) -> dict[int, tuple]:
+        """Per-shard quiescence fingerprint for the per-shard pass skip.
+
+        A shard's planning outcome is a pure function of (its cluster
+        slice, the jobs routed to it in pass order, the walltime ends of
+        active jobs touching its nodes).  The shard version counter covers
+        claims/releases/node events; the active-walltime signature covers
+        walltime extensions, which move a shard's future releases without
+        any cluster bump; the routed tuple covers queue membership and
+        relative priority order.
+        """
+        shards = self._shard_map.shards
+        routed: dict[int, list[str]] = {s.index: [] for s in shards}
+        for job, route in zip(ordered, routes):
+            if route is not None:
+                routed[route.index].append(job.job_id)
+        versions = self.cluster.shard_versions
+        # the active-signature structure is a pure function of (shard
+        # versions, walltime epoch): any membership or allocation change
+        # bumps a shard version via claim/release, and the one mutation
+        # that moves a release without touching the cluster — a walltime
+        # extension — bumps the server's epoch
+        sig_key = (tuple(versions), self.server.walltime_epoch)
+        cache = self._active_sig_cache
+        if cache is not None and cache[0] == sig_key:
+            active = cache[1]
+        else:
+            lists: dict[int, list[tuple[int, float]]] = {s.index: [] for s in shards}
+            node_to_shard = self._shard_map.node_to_shard
+            # touched shards are a pure function of the (immutable)
+            # allocation; memoize per job on allocation identity —
+            # expansion rebinds ``job.allocation`` so a changed set always
+            # misses.  Rebuilding the memo dict every pass prunes finished
+            # jobs for free.
+            memo = self._touched_memo
+            fresh: dict = {}
+            for job in self.server.active_jobs():
+                alloc = job.allocation
+                assert alloc is not None
+                cached = memo.get(job.job_id)
+                if cached is None or cached[0] is not alloc:
+                    touched = {
+                        node_to_shard[n] for n in alloc if n in node_to_shard
+                    }
+                    cached = (alloc, tuple(sorted(touched)))
+                fresh[job.job_id] = cached
+                sig = (job.seq, job.walltime_end)
+                for sid in cached[1]:
+                    lists[sid].append(sig)
+            self._touched_memo = fresh
+            active = {sid: tuple(sigs) for sid, sigs in lists.items()}
+            self._active_sig_cache = (sig_key, active)
+        return {
+            s.index: (
+                versions[s.index],
+                tuple(routed[s.index]),
+                active[s.index],
+            )
+            for s in shards
+        }
+
+    def _start_static_sharded(
+        self,
+        ordered: list[Job],
+        now: float,
+        lockdown: bool,
+        outcome: dict[str, tuple[str, str | None]] | None = None,
+    ) -> tuple[int, int]:
+        """The sharded static pass: one global priority walk, per-shard plans.
+
+        Each job plans against its shard's own working profile (built and
+        cached per shard, incrementally maintained per shard); spanning
+        jobs plan on an explicit cross-shard merge and scatter their claims
+        back into the shard profiles.  The walk itself — priority order,
+        ``passed_blocked`` backfill labeling, reservation depth, the
+        lockdown stop — reproduces the monolithic pass exactly; with one
+        shard every operation is performed on the same profile in the same
+        order, so the schedule is bit-identical to
+        :meth:`_start_static_monolithic`.
+        """
+        prof = self._prof
+        if prof is not None:
+            prof.begin("static_pass")
+        shard_map = self._shard_map
+        shards = shard_map.shards
+        multi = len(shards) > 1
+        partitions = static_partitions(self.config)
+        ledger = self._ledger
+
+        if multi and not ordered:
+            # empty queue: nothing to plan or block.  Clearing the pass
+            # cache instead of re-fingerprinting is exact — a future
+            # non-empty pass could never match an empty routed tuple, so
+            # the stored entry would be dead weight either way.
+            self._shard_pass_cache.clear()
+            self._next_reservation_start = None
+            if prof is not None:
+                prof.end()
+            return 0, 0
+
+        fingerprint = self._fingerprint(now)
+
+        if multi:
+            loads = {shard.index: 0 for shard in shards}
+            routes: list[SchedulerShard | None] = [
+                self._route(job, loads) for job in ordered
+            ]
+        else:
+            routes = [shards[0]] * len(ordered)
+
+        # Per-shard skip preconditions.  Soundness rests on profiles being
+        # release-only between state changes (free cores non-decreasing in
+        # time, so fits/earliest-fit outcomes are time-stable until the
+        # earliest planned reservation start); spanning jobs, lockdown,
+        # disabled backfill, admin reservations and ledger/outcome
+        # collection all fall back to full planning.
+        skip_ok = (
+            multi
+            and self.shard_skip_enabled
+            and outcome is None
+            and ledger is None
+            and not lockdown
+            and self.config.backfill_enabled
+            and not self.config.admin_reservations
+            and all(route is not None for route in routes)
+        )
+        fingerprints = self._shard_fingerprints(ordered, routes) if multi else None
+        skipped: dict[int, dict] = {}
+        if skip_ok:
+            for shard in shards:
+                cached = self._shard_pass_cache.get(shard.index)
+                if cached is None or cached["fingerprint"] != fingerprints[shard.index]:
+                    continue
+                res_start = cached["min_res_start"]
+                if res_start is not None and now >= res_start:
+                    continue  # a cached reservation is due: replan the shard
+                skipped[shard.index] = cached
+
+        workings: dict[int, AvailabilityProfile] = {}
+
+        def working_for(shard: SchedulerShard) -> AvailabilityProfile:
+            profile = workings.get(shard.index)
+            if profile is None:
+                profile = self._build_profile(shard if multi else partitions)
+                workings[shard.index] = profile
+            return profile
+
+        if not multi:
+            # the monolithic pass builds its profile unconditionally (even
+            # with an empty queue); matching that keeps the single-shard
+            # cache/build counters bit-identical to the legacy oracle
+            working_for(shards[0])
+
+        blocked_ids: list[str] = []
+        reserved_ahead: list[tuple[str, float]] = []
+        depth = self.config.reservation_depth
+        res_counts = {shard.index: 0 for shard in shards}
+        shard_blocked: dict[int, set[str]] = {shard.index: set() for shard in shards}
+        shard_min_res: dict[int, float | None] = {shard.index: None for shard in shards}
+        started = 0
+        backfilled = 0
+        passed_blocked = False
+        stopped_at: int | None = None
+        self._next_reservation_start = None
+        for cached in skipped.values():
+            # a skipped shard's planned reservations still anchor the
+            # boundary wake
+            res_start = cached["min_res_start"]
+            if res_start is not None and (
+                self._next_reservation_start is None
+                or res_start < self._next_reservation_start
+            ):
+                self._next_reservation_start = res_start
+
+        for idx, job in enumerate(ordered):
+            route = routes[idx]
+            if route is not None and route.index in skipped:
+                # replayed outcome: still blocked (labels later backfill)
+                # or still can-never-fit (contributes nothing), exactly as
+                # the cached full pass decided
+                if job.job_id in skipped[route.index]["blocked"]:
+                    blocked_ids.append(job.job_id)
+                    passed_blocked = True
+                continue
+            spanning = route is None
+            if spanning:
+                # cross-shard merge: gather every shard's current working
+                # profile (claims of earlier jobs this pass included) into
+                # one full view, plan on it, scatter claims back below
+                self.stats["shard_merges"] += 1
+                if prof is not None:
+                    prof.begin("shard_merge")
+                working = AvailabilityProfile.merge(
+                    [working_for(shard) for shard in shards]
+                )
+                if prof is not None:
+                    prof.end()
+                sid: int | None = None
+                suffix = ".merge"
+            else:
+                working = working_for(route)
+                sid = route.index
+                suffix = f".s{sid}" if multi else ""
+            if prof is not None:
+                prof.begin("backfill_scan" + suffix)
+            if working.quick_reject(now, job.request):
+                self.stats["backfill_quick_rejects"] += 1
+                alloc = None
+            else:
+                alloc = working.fits_at(now, job.walltime, job.request)
+            molded = False
+            if alloc is None and job.moldable_floor < job.request.total_cores:
+                alloc = self._mold_to_fit(working, job, now)
+                if alloc is not None:
+                    molded = True
+                    self.stats["jobs_molded"] += 1
+                    self.trace.record(
+                        now,
+                        EventKind.MOLDABLE_START,
+                        job_id=job.job_id,
+                        user=job.user,
+                        requested=job.request.total_cores,
+                        granted=alloc.total_cores,
+                        floor=job.moldable_floor,
+                    )
+            if prof is not None:
+                prof.end()
+            if alloc is not None:
+                if spanning:
+                    for part_sid, part in shard_map.split_allocation(alloc).items():
+                        workings[part_sid].add_claim(now, now + job.walltime, part)
+                else:
+                    working.add_claim(now, now + job.walltime, alloc)
+                if ledger is not None:
+                    ledger.note_start(
+                        job,
+                        now,
+                        backfilled=passed_blocked,
+                        molded=molded,
+                        cores=alloc.total_cores,
+                        fingerprint=fingerprint,
+                        jumped=blocked_ids if passed_blocked else None,
+                        hole_until=self._next_reservation_start,
+                        shard=sid if multi else None,
+                    )
+                self.server.start_job(job, alloc, backfilled=passed_blocked)
+                self._route_assign.pop(job.job_id, None)
+                if passed_blocked:
+                    self.stats["jobs_backfilled"] += 1
+                    backfilled += 1
+                else:
+                    self.stats["jobs_started"] += 1
+                    started += 1
+                continue
+            # blocked: reserve if within depth, then maybe stop the pass.
+            # Reservation depth is per shard; a spanning job counts against
+            # every shard (equivalent to the single global counter at one
+            # shard).
+            under_depth = (
+                all(count < depth for count in res_counts.values())
+                if spanning
+                else res_counts[sid] < depth
+            )
+            if under_depth:
+                if prof is not None:
+                    prof.begin("reservation_plan" + suffix)
+                try:
+                    try:
+                        if prof is not None:
+                            prof.begin("earliest_fit" + suffix)
+                        try:
+                            if not working.can_ever_fit(job.request):
+                                raise NoFitError(
+                                    f"{job.request} never fits "
+                                    "(cluster too small or fragmented)"
+                                )
+                            start, res_alloc = working.earliest_fit(
+                                job.request,
+                                job.walltime,
+                                after=now,
+                                probe_start=False,
+                            )
+                        finally:
+                            if prof is not None:
+                                prof.end()
+                    except NoFitError:
+                        if outcome is not None:
+                            outcome[job.job_id] = (
+                                "queued_behind",
+                                "request can never fit",
+                            )
+                        continue  # oversized for this view; skip
+                    if spanning:
+                        for part_sid, part in shard_map.split_allocation(
+                            res_alloc
+                        ).items():
+                            workings[part_sid].add_claim(
+                                start, start + job.walltime, part
+                            )
+                        for shard in shards:
+                            res_counts[shard.index] += 1
+                    else:
+                        working.add_claim(start, start + job.walltime, res_alloc)
+                        res_counts[sid] += 1
+                        cur = shard_min_res[sid]
+                        if cur is None or start < cur:
+                            shard_min_res[sid] = start
+                    if (
+                        self._next_reservation_start is None
+                        or start < self._next_reservation_start
+                    ):
+                        self._next_reservation_start = start
+                    self.stats["reservations_created"] += 1
+                    self.trace.record(
+                        now,
+                        EventKind.RESERVATION_CREATE,
+                        job_id=job.job_id,
+                        start=start,
+                        cores=res_alloc.total_cores,
+                    )
+                    if ledger is not None:
+                        waiting_on = [
+                            j.job_id
+                            for j in self.server.active_jobs()
+                            if j.walltime_end <= start + 1e-9
+                        ] + [jid for jid, s in reserved_ahead if s <= start + 1e-9]
+                        ledger.note_reservation(
+                            job, now, start, res_alloc.total_cores,
+                            waiting_on, fingerprint,
+                            shard=sid if multi else None,
+                        )
+                        reserved_ahead.append((job.job_id, start))
+                        if outcome is not None:
+                            outcome[job.job_id] = (
+                                "reservation_held",
+                                f"reserved at t={start:.1f}",
+                            )
+                finally:
+                    if prof is not None:
+                        prof.end()
+            elif outcome is not None:
+                behind = f"behind {blocked_ids[0]}" if blocked_ids else None
+                outcome[job.job_id] = ("queued_behind", behind)
+            blocked_ids.append(job.job_id)
+            if sid is not None:
+                shard_blocked[sid].add(job.job_id)
+            passed_blocked = True
+            if job.top_priority or not self.config.backfill_enabled or lockdown:
+                stopped_at = idx
+                break
+        if outcome is not None and stopped_at is not None:
+            if lockdown:
+                reason = "Z-job lockdown"
+            elif not self.config.backfill_enabled:
+                reason = "backfill disabled"
+            else:
+                reason = f"blocked top-priority job {ordered[stopped_at].job_id}"
+            for job in ordered[stopped_at + 1 :]:
+                outcome[job.job_id] = ("backfill_blocked", reason)
+        if multi:
+            if skip_ok and stopped_at is None:
+                for shard in shards:
+                    if shard.index in skipped:
+                        self.stats["shard_passes_skipped"] += 1
+                        continue
+                    # pre-walk fingerprint on purpose: a shard that started
+                    # anything has bumped its version past it, so the next
+                    # pass re-plans (the fixpoint semantics of the echo
+                    # wake-up), while an unchanged shard skips
+                    self._shard_pass_cache[shard.index] = {
+                        "fingerprint": fingerprints[shard.index],
+                        "blocked": frozenset(shard_blocked[shard.index]),
+                        "min_res_start": shard_min_res[shard.index],
+                    }
+            else:
+                self._shard_pass_cache.clear()
         if prof is not None:
             prof.end()
         return started, backfilled

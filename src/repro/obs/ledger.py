@@ -327,6 +327,7 @@ class DecisionLedger:
         fingerprint: tuple,
         jumped: list[str] | None = None,
         hole_until: float | None = None,
+        shard: int | None = None,
     ) -> None:
         """A queued job starts — by priority order or as backfill."""
         self._reservations.pop(job.job_id, None)
@@ -338,6 +339,10 @@ class DecisionLedger:
             "molded": molded,
             "profile_fingerprint": list(fingerprint),
         }
+        if shard is not None:
+            # which scheduler shard planned the start (multi-shard runs
+            # only; single-shard payloads stay byte-identical to legacy)
+            payload["shard"] = shard
         if backfilled:
             # the hole: which higher-priority jobs were jumped, and until
             # when the backfilled job provably stays out of their way
@@ -358,6 +363,7 @@ class DecisionLedger:
         cores: int,
         waiting_on: list[str],
         fingerprint: tuple,
+        shard: int | None = None,
     ) -> None:
         """A blocked job received a reservation; dedup create vs slide."""
         previous = self._reservations.get(job.job_id)
@@ -371,6 +377,8 @@ class DecisionLedger:
             "waiting_on": waiting_on,
             "profile_fingerprint": list(fingerprint),
         }
+        if shard is not None:
+            payload["shard"] = shard
         if previous is None:
             self._record(DecisionKind.RESERVATION_CREATE, now, job.job_id, payload)
         else:

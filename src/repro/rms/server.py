@@ -86,6 +86,13 @@ class Server:
         #: monotone counter bumped on every state change; the scheduler's
         #: availability-profile cache keys its validity on it
         self.state_version: int = 0
+        self._active_jobs_cache: list[Job] = []
+        self._active_jobs_cache_version: int = -1
+        #: bumps whenever a *running* job's walltime is extended — the one
+        #: mutation that moves a future release without touching cluster
+        #: state; the scheduler's per-shard quiescence fingerprints key
+        #: their active-job signature cache on it
+        self.walltime_epoch: int = 0
         self._apps: dict[str, Application | None] = {}
         self._contexts: dict[str, TMContext] = {}
         self._walltime_limits: dict[str, EventHandle] = {}
@@ -142,10 +149,19 @@ class Server:
             self.on_state_change()
 
     def active_jobs(self) -> list[Job]:
-        """Jobs currently holding resources, in start order."""
-        active = list(self._active_jobs.values())
-        active.sort(key=lambda j: (j.start_time, j.seq))
-        return active
+        """Jobs currently holding resources, in start order.
+
+        Cached on :attr:`state_version` — membership and start order only
+        change through state transitions, every one of which bumps the
+        counter via ``_notify``.  Hands out a copy because callers extend
+        and re-sort the list they get.
+        """
+        if self._active_jobs_cache_version != self.state_version:
+            active = list(self._active_jobs.values())
+            active.sort(key=lambda j: (j.start_time, j.seq))
+            self._active_jobs_cache = active
+            self._active_jobs_cache_version = self.state_version
+        return self._active_jobs_cache.copy()
 
     @property
     def active_count(self) -> int:
@@ -510,6 +526,7 @@ class Server:
         assert dreq.extend_walltime is not None
         self.dyn_queue.remove(dreq)
         job.walltime += dreq.extend_walltime
+        self.walltime_epoch += 1
         # move the kill switch to the new limit
         limit = self._walltime_limits.pop(job.job_id, None)
         if limit is not None:

@@ -1,5 +1,6 @@
 """Workload generation: the (dynamic) ESP benchmark and synthetic mixes."""
 
+from repro.workloads.evolve import evolving_ify
 from repro.workloads.esp import (
     ESP_JOB_TYPES,
     ESPJobType,
@@ -18,6 +19,7 @@ __all__ = [
     "Workload",
     "esp_core_count",
     "esp_submission_times",
+    "evolving_ify",
     "from_swf",
     "to_swf",
     "make_diurnal_workload",

@@ -1,0 +1,315 @@
+"""Tests for the per-partition scheduler sharding (repro.maui.shards).
+
+The contract under test, in order of importance:
+
+1. **Single-shard oracle**: with ``scheduler_shards=1`` (the default) the
+   sharded pass is *bit-identical* to the legacy monolithic pass
+   (``scheduler_shards=0``) — same start/end times, same states, same
+   decision counters — across every seeded ESP configuration.
+2. **Multi-shard determinism**: the same seed always produces the same
+   schedule, run-to-run, at any shard count.
+3. **Cross-shard merge**: a full-machine job (ESP Z) routes through the
+   explicit merge and can span every shard, surviving node fail/recover
+   churn confined to one shard.
+4. **Per-shard skip soundness**: skipping quiescent shards never changes
+   the schedule, only the amount of planning work.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.allocation import Allocation, ResourceRequest
+from repro.cluster.machine import Cluster
+from repro.cluster.profile import AvailabilityProfile
+from repro.maui.config import MauiConfig
+from repro.maui.shards import SchedulerShard, ShardMap
+from repro.system import BatchSystem
+from repro.workloads import evolving_ify, make_random_workload
+from repro.workloads.esp import make_esp_workload
+
+from repro.experiments.configs import all_configurations
+
+CONFIG_NAMES = [c.name for c in all_configurations()]
+
+
+def _config(name):
+    return next(c for c in all_configurations() if c.name == name)
+
+
+def _run_esp(config, shards, *, num_nodes=8, cores_per_node=4, seed=2014):
+    """A compact ESP run (same machine as the profile-equivalence oracle)."""
+    maui = dataclasses.replace(config.maui, scheduler_shards=shards)
+    system = BatchSystem(num_nodes=num_nodes, cores_per_node=cores_per_node, config=maui)
+    make_esp_workload(
+        num_nodes * cores_per_node, dynamic=config.dynamic_workload, seed=seed
+    ).submit_to(system)
+    system.run(max_events=5_000_000)
+    metrics = system.metrics()
+    tuples = [
+        (r.submit_time, r.start_time, r.end_time, r.state) for r in metrics.records
+    ]
+    stats = {
+        k: v
+        for k, v in system.scheduler.stats.items()
+        if not k.endswith("_seconds")
+    }
+    return tuples, stats, system
+
+
+# ----------------------------------------------------------------------
+# 1. single-shard pass ≡ monolithic oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", CONFIG_NAMES)
+def test_single_shard_bit_identical_to_monolithic(name):
+    config = _config(name)
+    mono_tuples, mono_stats, _ = _run_esp(config, shards=0)
+    shard_tuples, shard_stats, _ = _run_esp(config, shards=1)
+    assert shard_tuples == mono_tuples
+    # the sharded pass adds its own counters; everything shared must match
+    for key, value in mono_stats.items():
+        assert shard_stats[key] == value, key
+
+
+# ----------------------------------------------------------------------
+# 2. multi-shard determinism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [2, 4])
+def test_multi_shard_same_seed_identical(shards):
+    config = _config("Dyn-HP")
+    a_tuples, a_stats, _ = _run_esp(config, shards=shards)
+    b_tuples, b_stats, _ = _run_esp(config, shards=shards)
+    assert a_tuples == b_tuples
+    assert a_stats == b_stats
+
+
+def test_multi_shard_workload_drains():
+    """Every ESP config drains at 2 and 4 shards and exercises the merge."""
+    for name in CONFIG_NAMES:
+        tuples, stats, system = _run_esp(_config(name), shards=2)
+        assert all(t[3] == "completed" for t in tuples), name
+        # the full-machine Z job cannot fit any single shard
+        assert stats["shard_merges"] > 0, name
+
+
+# ----------------------------------------------------------------------
+# 3. spanning jobs and the cross-shard merge
+# ----------------------------------------------------------------------
+def test_full_machine_job_spans_shards_under_churn():
+    """ESP-Z-style lockdown drains across shards while one shard churns."""
+    from repro.apps.synthetic import FixedRuntimeApp
+    from repro.jobs.job import Job, JobState
+
+    maui = MauiConfig(
+        reservation_depth=5, reservation_delay_depth=5, scheduler_shards=2
+    )
+    system = BatchSystem(num_nodes=4, cores_per_node=8, config=maui)
+    shard_map = system.scheduler._shard_map
+    assert len(shard_map) == 2
+
+    fillers = [
+        system.submit(
+            Job(request=ResourceRequest(cores=16), walltime=900.0, user=f"u{i}"),
+            FixedRuntimeApp(300.0),
+        )
+        for i in range(2)
+    ]
+    z = Job(
+        request=ResourceRequest(cores=32),
+        walltime=1200.0,
+        user="zuser",
+        top_priority=True,
+    )
+    system.submit_at(10.0, z, FixedRuntimeApp(600.0))
+    system.run(until=60.0)
+
+    # churn confined to shard 1 while Z waits for the whole machine
+    victim = shard_map.shards[1].nodes[0]
+    system.server.handle_node_failure(victim)
+    system.run(until=120.0)
+    system.server.recover_node(victim)
+    system.run(max_events=5_000_000)
+
+    assert z.state is JobState.COMPLETED
+    touched = {shard_map.node_to_shard[n] for n in z.allocation}
+    assert touched == {0, 1}
+    assert all(j.state is JobState.COMPLETED for j in fillers)
+    assert system.scheduler.stats["shard_merges"] > 0
+
+
+def test_merge_matches_monolithic_profile():
+    """Merging shard profiles reproduces the full profile bit-for-bit."""
+    whole = AvailabilityProfile(range(8), {i: 4 for i in range(8)}, 0.0)
+    left = AvailabilityProfile(range(4), {i: 4 for i in range(4)}, 0.0)
+    right = AvailabilityProfile(range(4, 8), {i: 4 for i in range(4, 8)}, 0.0)
+
+    claims = [
+        (0.0, 100.0, Allocation({0: 4, 1: 2})),
+        (50.0, 250.0, Allocation({5: 4})),
+        (10.0, 90.0, Allocation({3: 1, 4: 3})),
+    ]
+    for start, end, alloc in claims:
+        whole.add_claim(start, end, alloc)
+        for shard in (left, right):
+            inside = {n: c for n, c in alloc.items() if n in shard._pos}
+            if inside:
+                shard.add_claim(start, end, Allocation(inside))
+
+    merged = AvailabilityProfile.merge([left, right])
+    assert merged._nodes == whole._nodes
+    for t in sorted(set(whole.breakpoints) | set(merged.breakpoints)):
+        assert merged.free_at(t) == whole.free_at(t), t
+    request = ResourceRequest(cores=20)
+    assert merged.earliest_fit(request, 50.0, after=0.0) == whole.earliest_fit(
+        request, 50.0, after=0.0
+    )
+
+
+def test_merge_rejects_overlapping_nodes():
+    a = AvailabilityProfile((0, 1), {0: 4, 1: 4}, 0.0)
+    b = AvailabilityProfile((1, 2), {1: 4, 2: 4}, 0.0)
+    with pytest.raises(ValueError):
+        AvailabilityProfile.merge([a, b])
+
+
+# ----------------------------------------------------------------------
+# 4. per-shard skip soundness
+# ----------------------------------------------------------------------
+def test_shard_skip_does_not_change_schedule():
+    maui = MauiConfig(
+        reservation_depth=5, reservation_delay_depth=5, scheduler_shards=4
+    )
+    workload = make_random_workload(80, 64, seed=42)
+
+    def run(skip):
+        system = BatchSystem(num_nodes=8, cores_per_node=8, config=maui)
+        system.scheduler.shard_skip_enabled = skip
+        workload.submit_to(system)
+        system.run(max_events=5_000_000)
+        return (
+            [
+                (r.submit_time, r.start_time, r.end_time, r.state)
+                for r in system.metrics().records
+            ],
+            system.scheduler.stats,
+        )
+
+    on_tuples, on_stats = run(True)
+    off_tuples, off_stats = run(False)
+    assert on_tuples == off_tuples
+    assert on_stats["shard_passes_skipped"] > 0
+    assert off_stats["shard_passes_skipped"] == 0
+
+
+# ----------------------------------------------------------------------
+# shard map construction
+# ----------------------------------------------------------------------
+class TestShardMap:
+    def test_balanced_contiguous_split(self):
+        cluster = Cluster.homogeneous(10, 8)
+        shard_map = ShardMap.build(cluster, 3)
+        sizes = [len(s.nodes) for s in shard_map.shards]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+        flat = [n for s in shard_map.shards for n in s.nodes]
+        assert flat == sorted(flat)  # contiguous ascending ⇒ global order
+
+    def test_partitions_never_mix(self):
+        cluster = Cluster.homogeneous(10, 8, dynamic_partition_nodes=4)
+        shard_map = ShardMap.build(cluster, 2)
+        for shard in shard_map.shards:
+            partitions = {cluster.node(n).partition for n in shard.nodes}
+            assert len(partitions) == 1
+
+    def test_more_shards_than_nodes(self):
+        cluster = Cluster.homogeneous(2, 8)
+        shard_map = ShardMap.build(cluster, 8)
+        assert len(shard_map) == 2
+
+    def test_capable_shards_and_spanning(self):
+        cluster = Cluster.homogeneous(8, 4)
+        shard_map = ShardMap.build(cluster, 2)
+        assert len(shard_map.capable_shards(cluster, ResourceRequest(cores=8))) == 2
+        # more cores than any single shard holds ⇒ no capable shard
+        assert shard_map.capable_shards(cluster, ResourceRequest(cores=20)) == ()
+
+    def test_split_allocation(self):
+        cluster = Cluster.homogeneous(4, 8)
+        shard_map = ShardMap.build(cluster, 2)
+        pieces = shard_map.split_allocation(Allocation({0: 8, 1: 4, 2: 8}))
+        assert set(pieces) == {0, 1}
+        assert dict(pieces[0].items()) == {0: 8, 1: 4}
+        assert dict(pieces[1].items()) == {2: 8}
+
+
+# ----------------------------------------------------------------------
+# cluster-side caches and shard version counters
+# ----------------------------------------------------------------------
+class TestClusterShardBookkeeping:
+    def test_free_maps_are_private_copies(self):
+        cluster = Cluster.homogeneous(4, 8)
+        a = cluster.free_by_node()
+        a.pop(0)
+        assert 0 in cluster.free_by_node()
+        b = cluster.free_for_nodes((0, 1))
+        b[0] = 0
+        assert cluster.free_for_nodes((0, 1))[0] == 8
+
+    def test_free_for_nodes_skips_down(self):
+        cluster = Cluster.homogeneous(4, 8)
+        cluster.fail_node(1)
+        assert set(cluster.free_for_nodes((0, 1, 2))) == {0, 2}
+
+    def test_shard_versions_bump_only_touched_shard(self):
+        cluster = Cluster.homogeneous(4, 8)
+        cluster.install_shard_index({0: 0, 1: 0, 2: 1, 3: 1}, 2)
+        alloc = Allocation({0: 4})
+        cluster.claim(alloc)
+        assert cluster.shard_versions == [1, 0]
+        cluster.release(alloc)
+        assert cluster.shard_versions == [2, 0]
+        cluster.fail_node(3)
+        assert cluster.shard_versions == [2, 1]
+        cluster.recover_node(3)
+        assert cluster.shard_versions == [2, 2]
+
+
+# ----------------------------------------------------------------------
+# evolving_ify
+# ----------------------------------------------------------------------
+class TestEvolvingIfy:
+    def test_seeded_and_counted(self):
+        base = make_random_workload(100, 64, evolving_share=0.0, seed=1)
+        assert base.evolving_jobs == 0
+        evolved = evolving_ify(base, 0.25, seed=7)
+        assert evolved.evolving_jobs == 25
+        again = evolving_ify(base, 0.25, seed=7)
+        picked = [s.evolution is not None for s in evolved.specs]
+        assert picked == [s.evolution is not None for s in again.specs]
+        other = evolving_ify(base, 0.25, seed=8)
+        assert picked != [s.evolution is not None for s in other.specs]
+        assert base.evolving_jobs == 0  # input untouched
+
+    def test_already_evolving_left_alone(self):
+        base = make_random_workload(50, 64, evolving_share=1.0, seed=3)
+        evolved = evolving_ify(base, 0.5, seed=1)
+        assert evolved.evolving_jobs == base.evolving_jobs
+        assert [s.evolution for s in evolved.specs] == [
+            s.evolution for s in base.specs
+        ]
+
+    def test_runs_and_grows(self):
+        base = make_random_workload(
+            40, 32, evolving_share=0.0, size_range=(1, 16), seed=5
+        )
+        evolved = evolving_ify(base, 0.5, seed=9)
+        system = BatchSystem(
+            num_nodes=4,
+            cores_per_node=8,
+            config=MauiConfig(reservation_depth=5, reservation_delay_depth=5),
+        )
+        evolved.submit_to(system)
+        system.run(max_events=5_000_000)
+        metrics = system.metrics()
+        assert metrics.completed_jobs == 40
+        assert metrics.satisfied_dyn_jobs > 0
