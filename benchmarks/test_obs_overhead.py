@@ -313,3 +313,92 @@ def test_faults_absent_overhead_within_five_percent():
         f"{overhead * 1e3:.3f} ms exceeds 5% of the "
         f"{disabled_runtime * 1e3:.1f} ms disabled run"
     )
+
+
+# ----------------------------------------------------------------------
+# fairness-observatory overhead (same contract, observatory absent)
+# ----------------------------------------------------------------------
+def test_fairness_absent_overhead_within_five_percent():
+    """Observatory off: the scheduler's statistics pass costs one
+    ``self._fair`` read per call plus one ``fair is not None`` check per
+    charged usage segment and per tracker roll.  An enabled run counts
+    both (accruals and samples are exactly the segment/roll executions);
+    every site is charged at 2x to stay generous.
+    """
+    telemetry = Telemetry(sample_interval=None, fairness=True, windows=600.0)
+    result = _run(telemetry=telemetry)
+    fair = telemetry.fairness
+    iterations = int(telemetry.registry.value("repro_sched_iterations_total"))
+    hooks = 2 * (2 * iterations + fair.accruals)
+    per_check = _per_check_cost_seconds()
+    start = timeit.default_timer()
+    _run()
+    disabled_runtime = timeit.default_timer() - start
+
+    overhead = hooks * per_check
+    budget = 0.05 * disabled_runtime
+    record_bench(
+        "perf",
+        "fairness_absent_bound",
+        hook_checks=hooks,
+        accruals=fair.accruals,
+        per_check_ns=per_check * 1e9,
+        overhead_ms=overhead * 1e3,
+        budget_ms=budget * 1e3,
+        headroom=budget / overhead,
+    )
+    register_report(
+        "Fairness-observatory overhead — absent bound (5 % budget)",
+        "\n".join(
+            [
+                f"  fairness hook checks per run: {hooks:>12,d}",
+                f"  (from {fair.accruals:,d} charged segments when enabled)",
+                f"  cost per is-None check      : {per_check * 1e9:>12.1f} ns",
+                f"  worst-case absent overhead  : {overhead * 1e3:>12.3f} ms",
+                f"  disabled run wall time      : {disabled_runtime * 1e3:>12.1f} ms",
+                f"  5% budget                   : {budget * 1e3:>12.1f} ms",
+                f"  headroom                    : {budget / overhead:>12.1f}x",
+            ]
+        ),
+    )
+    assert overhead < budget, (
+        f"{hooks} fairness hook checks x {per_check * 1e9:.1f} ns = "
+        f"{overhead * 1e3:.3f} ms exceeds 5% of the "
+        f"{disabled_runtime * 1e3:.1f} ms disabled run"
+    )
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_fairness_slo_enabled_run(benchmark):
+    """Enabled-path cost of the full fairness + SLO stack, for the trend
+    snapshot: observatory sampling, grouped windows, objective evaluation."""
+
+    def run():
+        return _run(
+            telemetry=Telemetry(
+                fairness=True,
+                windows=600.0,
+                slo=["p99_wait < 4h", "jain >= 0.6", "share_error < 0.15"],
+            )
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.metrics.completed_jobs == 230
+    telemetry = result.telemetry
+    start = timeit.default_timer()
+    run()
+    enabled_runtime = timeit.default_timer() - start
+    start = timeit.default_timer()
+    _run()
+    disabled_runtime = timeit.default_timer() - start
+    record_bench(
+        "perf",
+        "fairness_observatory_overhead",
+        enabled_ms=enabled_runtime * 1e3,
+        disabled_ms=disabled_runtime * 1e3,
+        overhead_pct=100.0 * (enabled_runtime - disabled_runtime)
+        / disabled_runtime,
+        samples=len(telemetry.fairness.samples),
+        accounts=len(telemetry.fairness.principals),
+        slo_breaches=len(telemetry.slo.breaches),
+    )

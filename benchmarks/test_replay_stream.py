@@ -136,3 +136,63 @@ def test_swf_replay_streaming(replay_workload, shards):
         cpu_count=usable_cpu_count(),
         cpu_count_installed=os.cpu_count(),
     )
+
+
+@pytest.mark.slow
+def test_swf_replay_fairness_slo(replay_workload):
+    """Fairness + SLO at 100k jobs under fold-and-discard memory bounds.
+
+    The observatory must produce per-account share series and grouped
+    wait/stretch distributions while holding O(accounts + max_points)
+    state — no per-job retention — and the SLO engine must evaluate every
+    materialised window.
+    """
+    telemetry = Telemetry(
+        sample_interval=None,
+        windows=3600.0,
+        fold_and_discard=True,
+        fairness=True,
+        slo=["p99_wait < 4h", "jain >= 0.5", "share_error < 0.2"],
+    )
+    system = BatchSystem(
+        NUM_NODES,
+        CORES_PER_NODE,
+        MauiConfig(
+            reservation_depth=5, reservation_delay_depth=5, scheduler_shards=2
+        ),
+        telemetry=telemetry,
+        trace_maxlen=10_000,
+    )
+    replay_workload.submit_to(system)
+    t0 = time.perf_counter()
+    events = system.run(max_events=100_000_000)
+    wall = time.perf_counter() - t0
+
+    windows = telemetry.windows
+    assert windows.jobs_completed == NUM_JOBS
+    fair = telemetry.fairness
+    # per-account series exist for every SWF user, at bounded length
+    assert len(fair.principals) == 32
+    assert fair.samples and len(fair.samples) < fair.max_points
+    assert set(fair.latest["shares"]) == set(fair.principals)
+    # the group dimension folded every job without retaining any
+    groups = windows.groups
+    assert sum(g.jobs for g in groups.values()) == NUM_JOBS
+    engine = telemetry.slo
+    evaluated = len(engine._evaluated)
+    assert evaluated == len(windows.closed) + len(windows._open)
+    record_bench(
+        "replay",
+        f"swf_replay_{NUM_JOBS // 1000}k_jobs_fairness_slo",
+        wall_seconds=wall,
+        events=events,
+        events_per_second=events / wall,
+        fairness_samples=len(fair.samples),
+        fairness_decimations=fair.decimations,
+        accounts=len(fair.principals),
+        windows_evaluated=evaluated,
+        slo_breaches=len(engine.breaches),
+        jain=fair.latest["jain"],
+        cpu_count=usable_cpu_count(),
+        cpu_count_installed=os.cpu_count(),
+    )

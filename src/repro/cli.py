@@ -9,6 +9,8 @@ Usage::
     repro-batchsim trace | timeline | metrics   # live telemetry views
     repro-batchsim ledger                        # decision-ledger tail
     repro-batchsim why [--job ID]                # per-job delay attribution
+    repro-batchsim fairness                      # per-account share tables
+    repro-batchsim slo [--slo OBJ ...]           # SLO verdicts + breach->why
     repro-batchsim resilience [--mtbf S] [--mttr S] [--fault-seed N]
                               [--delivery-failure-rate P] [--out DIR] [-j N]
     repro-batchsim perf-report [--phases FILE] [--windows FILE]
@@ -38,6 +40,16 @@ decision ledger enabled: ``ledger`` prints the verdict summary and tail,
 ``why`` explains one job (``--job``, default: the job dynamic grants
 delayed the most) — its wait decomposed into attributed components plus
 every decision that causally touched it.
+
+``fairness`` runs Dyn-HP with the fairness observatory: per-account
+share-usage vs fair-share targets (Jain's index over normalized shares)
+plus per-account wait/slowdown/stretch distributions from the windowed
+P² sketches.  ``slo`` additionally evaluates declarative objectives
+(``--slo "p99_wait < 2h"``, repeatable; sensible defaults otherwise) as
+each window closes and explains the first wait breach through the causal
+decision ledger.  ``table2 --telemetry-out DIR --slo OBJ`` dumps
+``<config>.fairness.jsonl`` and ``<config>.slo.jsonl`` — byte-identical
+per seed, serial or ``-j N`` (a CI golden check ``cmp``'s them).
 
 ``perf-report`` renders the performance observatory: the phase-profiler
 tree (where scheduler iterations spend their wall-clock) and the windowed
@@ -110,7 +122,8 @@ def _cmd_table2(args) -> str:
         return render_resilience(
             rows, title="Table II configurations under failure injection"
         )
-    if getattr(args, "telemetry_out", None) or getattr(args, "profile", False):
+    slo = getattr(args, "slo", None)
+    if getattr(args, "telemetry_out", None) or getattr(args, "profile", False) or slo:
         from repro.experiments.table2 import run_table2_instrumented
 
         results = run_table2_instrumented(
@@ -120,12 +133,16 @@ def _cmd_table2(args) -> str:
             profile=args.profile,
             window_width=args.window_width,
             shards=getattr(args, "shards", None),
+            slo=tuple(slo) if slo else None,
+            workers=args.jobs,
         )
         if args.telemetry_out is None:
             return render_table2(results)
         suffixes = ".trace.jsonl and .metrics.prom" + (
             " and .ledger.jsonl" if args.ledger else ""
-        ) + (" and .phases.jsonl and .windows.jsonl" if args.profile else "")
+        ) + (" and .phases.jsonl" if args.profile else "") + (
+            " and .windows.jsonl" if args.profile or slo else ""
+        ) + (" and .fairness.jsonl and .slo.jsonl" if slo else "")
         return (
             render_table2(results)
             + f"\n\ntelemetry written to {args.telemetry_out}/<config>{suffixes}"
@@ -332,7 +349,9 @@ def _cmd_metrics(args) -> str:
                 render_window_table(dump["windows"]),
             ]
         )
-    result = _instrumented_dyn_hp(args.seed, args.sample_interval, args.trace_maxlen)
+    from repro.obs.console import render_fairness_table
+
+    result = _fairness_dyn_hp(args.seed, args.sample_interval, args.trace_maxlen)
     telemetry = result.telemetry
     ledger = {}
     for instrument in telemetry.registry.collect():
@@ -345,6 +364,8 @@ def _cmd_metrics(args) -> str:
             to_prometheus_text(telemetry.registry).rstrip(),
             "",
             render_ledger_table(ledger),
+            "",
+            render_fairness_table(telemetry.fairness.account_rows()),
             "",
             telemetry.tracer.render_summary(),
         ]
@@ -486,6 +507,102 @@ def _cmd_why(args) -> str:
     )
 
 
+#: default objectives for the ``slo`` subcommand — tuned so a stock
+#: Dyn-HP run demonstrates both verdicts: the tail-wait and fairness
+#: objectives breach under the ESP burst, the mean-wait one holds
+_DEFAULT_SLO = (
+    "p99_wait < 100m",
+    "mean_wait < 2h",
+    "jain >= 0.6",
+    "share_error < 0.15",
+)
+
+
+@lru_cache(maxsize=2)
+def _fairness_dyn_hp(
+    seed: int,
+    sample_interval: float,
+    trace_maxlen: int | None,
+    slo: tuple[str, ...] | None = None,
+):
+    """Dyn-HP with the fairness observatory (+ SLO engine + ledger)."""
+    from repro.experiments.configs import all_configurations
+    from repro.experiments.runner import run_esp_configuration
+    from repro.obs import Telemetry
+
+    configuration = next(c for c in all_configurations() if c.name == "Dyn-HP")
+    telemetry = Telemetry(
+        sample_interval=sample_interval,
+        decision_ledger=slo is not None,
+        windows=600.0,
+        fairness=True,
+        slo=list(slo) if slo else None,
+    )
+    return run_esp_configuration(
+        configuration, seed=seed, telemetry=telemetry, trace_maxlen=trace_maxlen
+    )
+
+
+def _cmd_fairness(args) -> str:
+    from repro.obs.console import render_fairness_table, render_group_table
+
+    result = _fairness_dyn_hp(args.seed, args.sample_interval, args.trace_maxlen)
+    telemetry = result.telemetry
+    fair = telemetry.fairness
+    summary = fair.summary()
+    return "\n".join(
+        [
+            f"Dyn-HP ESP run (seed {args.seed}) — fairness observatory:",
+            f"  accounts={summary['accounts']} samples={summary['samples']} "
+            f"(every {fair.sample_interval:.0f}s, {fair.decimations} decimations)",
+            f"  jain_index={summary['jain']:.4f} "
+            f"max_share_error={summary['max_share_error']:.4f}",
+            "",
+            render_fairness_table(fair.account_rows()),
+            "",
+            render_group_table(telemetry.windows.group_totals()),
+        ]
+    )
+
+
+def _cmd_slo(args) -> str:
+    from repro.obs.console import (
+        render_breach_tail,
+        render_causal_chain,
+        render_slo_summary,
+    )
+
+    objectives = tuple(args.slo) if args.slo else _DEFAULT_SLO
+    result = _fairness_dyn_hp(
+        args.seed, args.sample_interval, args.trace_maxlen, objectives
+    )
+    telemetry = result.telemetry
+    engine = telemetry.slo
+    sections = [
+        f"Dyn-HP ESP run (seed {args.seed}) — SLO engine "
+        f"({len(engine.breaches)} breaches over "
+        f"{len(telemetry.windows.closed)} closed windows):",
+        render_slo_summary(engine.summary()),
+        "",
+        f"last {args.tail} breaches:",
+        render_breach_tail(engine.breaches, n=args.tail),
+    ]
+    # breach -> why: explain the first wait breach through the causal
+    # chain of the window's worst-wait job
+    anchored = next((b for b in engine.breaches if b["job_id"]), None)
+    if anchored is not None and telemetry.ledger is not None:
+        chain = telemetry.ledger.causal_chain(anchored["job_id"])
+        sections.extend(
+            [
+                "",
+                f"why {anchored['job_id']} (worst wait in window "
+                f"{anchored['window']}, breached {anchored['objective']!r}):",
+                render_causal_chain(chain[-args.tail :]),
+            ]
+        )
+    return "\n".join(sections)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -505,6 +622,8 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "ledger": _cmd_ledger,
     "why": _cmd_why,
+    "fairness": _cmd_fairness,
+    "slo": _cmd_slo,
     "resilience": _cmd_resilience,
     "perf-report": _cmd_perf_report,
     "bench-trend": _cmd_bench_trend,
@@ -667,6 +786,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="resilience only: write machine-readable resilience.json to DIR",
+    )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="OBJ",
+        help=(
+            "table2/slo: declare an SLO objective like 'p99_wait < 4h' "
+            "(repeatable; table2 --telemetry-out also dumps "
+            "<config>.fairness.jsonl and <config>.slo.jsonl)"
+        ),
     )
     parser.add_argument(
         "--profile",

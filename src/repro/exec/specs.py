@@ -17,11 +17,13 @@ from dataclasses import dataclass
 __all__ = [
     "SweepRunSpec",
     "Table2RunSpec",
+    "Table2InstrumentedSpec",
     "CampaignRunSpec",
     "ScalingRunSpec",
     "ResilienceRunSpec",
     "run_sweep_row",
     "run_table2_result",
+    "run_table2_instrumented_result",
     "run_campaign_row",
     "run_scaling_row",
     "run_resilience_row",
@@ -99,6 +101,58 @@ def run_table2_result(spec: Table2RunSpec):
         cores_per_node=spec.cores_per_node,
         seed=spec.seed,
     )
+
+
+@dataclass(frozen=True)
+class Table2InstrumentedSpec:
+    """One fully instrumented Table II run, dumps written in-worker.
+
+    The worker calls the same ``_run_instrumented_config`` the serial loop
+    uses — one implementation writes the JSONL dumps, which is what makes
+    ``-j N`` exports byte-identical to serial ones (the CI golden SLO
+    check relies on this).  ``slo`` is a tuple of objective strings so the
+    spec stays hashable and cheap to pickle.
+    """
+
+    config_name: str
+    seed: int
+    out_dir: str | None
+    decision_ledger: bool = False
+    profile: bool = False
+    window_width: float = 600.0
+    shards: int | None = None
+    slo: tuple[str, ...] | None = None
+
+
+def run_table2_instrumented_result(spec: Table2InstrumentedSpec):
+    """Run one instrumented configuration; dumps land on disk in-worker.
+
+    The returned ESPResult is stripped of its telemetry and trace — both
+    hold engine/sampler references that are meaningless (and expensive to
+    pickle) across the process boundary; the dumps carry the telemetry.
+    """
+    import dataclasses
+
+    from repro.experiments.table2 import _run_instrumented_config
+
+    result = _run_instrumented_config(
+        spec.config_name,
+        spec.seed,
+        spec.out_dir,
+        decision_ledger=spec.decision_ledger,
+        profile=spec.profile,
+        window_width=spec.window_width,
+        shards=spec.shards,
+        slo=spec.slo,
+    )
+    result = dataclasses.replace(result, telemetry=None, trace=None)
+    # the metrics object keeps its own telemetry/trace backrefs (sampler
+    # closures over live components, subscriber callbacks) — sever them
+    # before pickling, but keep the bare event list: utilization replays
+    # it lazily on the parent side (render_table2 needs it)
+    result.metrics._telemetry = None
+    result.metrics._trace = list(result.metrics._trace)
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -59,6 +59,59 @@ def run_table2(
     )
 
 
+def _run_instrumented_config(
+    config_name: str,
+    seed: int,
+    out_dir: str | Path | None,
+    *,
+    decision_ledger: bool = False,
+    profile: bool = False,
+    window_width: float = 600.0,
+    shards: int | None = None,
+    slo: tuple[str, ...] | None = None,
+) -> ESPResult:
+    """Run one configuration with full telemetry and write its dumps.
+
+    This is the single implementation behind both the serial loop and the
+    parallel exec-engine worker (``Table2InstrumentedSpec``) — one writer
+    is what makes ``-j N`` dumps byte-identical to serial ones.
+    """
+    from repro.obs import Telemetry, export_jsonl, to_prometheus_text
+
+    cfg = next(c for c in all_configurations() if c.name == config_name)
+    telemetry = Telemetry(
+        decision_ledger=decision_ledger,
+        profiling=profile,
+        windows=window_width if (profile or slo) else None,
+        slo=list(slo) if slo else None,
+    )
+    result = run_esp_configuration(
+        with_shards(cfg, shards), seed=seed, telemetry=telemetry
+    )
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        export_jsonl(result.trace, out / f"{cfg.name}.trace.jsonl")
+        (out / f"{cfg.name}.metrics.prom").write_text(
+            to_prometheus_text(telemetry.registry)
+        )
+        if telemetry.ledger is not None:
+            telemetry.ledger.export_jsonl(out / f"{cfg.name}.ledger.jsonl")
+        if telemetry.profiler is not None:
+            with open(out / f"{cfg.name}.phases.jsonl", "w") as fp:
+                telemetry.profiler.export_phases_jsonl(fp)
+        if telemetry.windows is not None:
+            with open(out / f"{cfg.name}.windows.jsonl", "w") as fp:
+                telemetry.windows.export_jsonl(fp)
+        if telemetry.fairness is not None:
+            with open(out / f"{cfg.name}.fairness.jsonl", "w") as fp:
+                telemetry.fairness.export_jsonl(fp)
+        if telemetry.slo is not None:
+            with open(out / f"{cfg.name}.slo.jsonl", "w") as fp:
+                telemetry.slo.export_jsonl(fp)
+    return result
+
+
 def run_table2_instrumented(
     seed: int = 2014,
     out_dir: str | Path | None = None,
@@ -67,6 +120,8 @@ def run_table2_instrumented(
     profile: bool = False,
     window_width: float = 600.0,
     shards: int | None = None,
+    slo: tuple[str, ...] | None = None,
+    workers: int = 1,
 ) -> list[ESPResult]:
     """Table II with full telemetry: fresh runs, one Telemetry each.
 
@@ -80,39 +135,54 @@ def run_table2_instrumented(
     profiler and windowed aggregates run too, dumped as
     ``<config>.phases.jsonl`` and ``<config>.windows.jsonl``
     (``window_width`` sim-seconds per tumbling window); both are readable
-    by the ``perf-report`` subcommand.  ``shards`` overrides the scheduler
+    by the ``perf-report`` subcommand.  With ``slo`` (a sequence of
+    objective strings like ``"p99_wait < 4h"``) the fairness observatory
+    and SLO engine run over the same windows and dump
+    ``<config>.fairness.jsonl`` and ``<config>.slo.jsonl`` — also
+    byte-identical per (config, seed), and per worker count: with
+    ``workers > 1`` the configurations run in exec-engine worker
+    processes through the same single writer (the CI serial-vs-``-j 2``
+    golden check relies on this).  ``shards`` overrides the scheduler
     shard count — the CI sharded-vs-unsharded golden check runs this twice
     (``shards=1`` vs ``shards=0``) and byte-compares the dumps.
     """
-    from repro.obs import Telemetry, export_jsonl, to_prometheus_text
+    from repro.exec import map_specs, resolve_workers
 
-    results = []
-    for cfg in all_configurations():
-        telemetry = Telemetry(
-            decision_ledger=decision_ledger,
-            profiling=profile,
-            windows=window_width if profile else None,
-        )
-        result = run_esp_configuration(
-            with_shards(cfg, shards), seed=seed, telemetry=telemetry
-        )
-        results.append(result)
-        if out_dir is not None:
-            out = Path(out_dir)
-            out.mkdir(parents=True, exist_ok=True)
-            export_jsonl(result.trace, out / f"{cfg.name}.trace.jsonl")
-            (out / f"{cfg.name}.metrics.prom").write_text(
-                to_prometheus_text(telemetry.registry)
+    if resolve_workers(workers) == 1:
+        return [
+            _run_instrumented_config(
+                cfg.name,
+                seed,
+                out_dir,
+                decision_ledger=decision_ledger,
+                profile=profile,
+                window_width=window_width,
+                shards=shards,
+                slo=slo,
             )
-            if telemetry.ledger is not None:
-                telemetry.ledger.export_jsonl(out / f"{cfg.name}.ledger.jsonl")
-            if telemetry.profiler is not None:
-                with open(out / f"{cfg.name}.phases.jsonl", "w") as fp:
-                    telemetry.profiler.export_phases_jsonl(fp)
-            if telemetry.windows is not None:
-                with open(out / f"{cfg.name}.windows.jsonl", "w") as fp:
-                    telemetry.windows.export_jsonl(fp)
-    return results
+            for cfg in all_configurations()
+        ]
+    from repro.exec.specs import Table2InstrumentedSpec, run_table2_instrumented_result
+
+    specs = [
+        Table2InstrumentedSpec(
+            cfg.name,
+            seed,
+            None if out_dir is None else str(out_dir),
+            decision_ledger=decision_ledger,
+            profile=profile,
+            window_width=window_width,
+            shards=shards,
+            slo=tuple(slo) if slo else None,
+        )
+        for cfg in all_configurations()
+    ]
+    return map_specs(
+        run_table2_instrumented_result,
+        specs,
+        workers=workers,
+        label="table2-instrumented",
+    )
 
 
 def render_table2(results: list[ESPResult] | None = None, seed: int = 2014) -> str:

@@ -74,12 +74,16 @@ class MauiScheduler:
         #: optional :class:`repro.obs.perf.PhaseProfiler`; same discipline —
         #: every phase hook on the disabled path is one is-None check
         self._prof = None
+        #: optional :class:`repro.obs.fairness.FairnessObservatory`; fed
+        #: from the statistics update — same single-is-None hook discipline
+        self._fair = None
         if self.telemetry is not None and self.telemetry.enabled:
             from repro.obs.instruments import SchedulerInstruments
 
             self._obs = SchedulerInstruments(self.telemetry)
             self._ledger = getattr(self.telemetry, "ledger", None)
             self._prof = getattr(self.telemetry, "profiler", None)
+            self._fair = getattr(self.telemetry, "fairness", None)
         self.fairshare = FairshareTracker(
             self.config.weights.fairshare_interval,
             self.config.weights.fairshare_decay,
@@ -709,6 +713,7 @@ class MauiScheduler:
         prof = self._prof
         if prof is not None:
             prof.begin("fairshare_update", sim_time=now)
+        fair = self._fair
         last = self._last_stats_time
         if now > last:
             # Only running jobs plus those that finished since the previous
@@ -725,11 +730,14 @@ class MauiScheduler:
                 seg_start = max(last, job.start_time)
                 seg_end = now if job.end_time is None else min(now, job.end_time)
                 if seg_end > seg_start:
-                    self.fairshare.add_usage(
-                        job.user, job.allocation.total_cores * (seg_end - seg_start)
-                    )
+                    used = job.allocation.total_cores * (seg_end - seg_start)
+                    self.fairshare.add_usage(job.user, used)
+                    if fair is not None:
+                        fair.accrue(job, used)
         self._last_stats_time = now
         self.fairshare.roll(now)
+        if fair is not None:
+            fair.sample(now, self.fairshare)
         if self.dfs.roll(now):
             self.trace.record(
                 now, EventKind.DFS_INTERVAL_ROLL, interval_start=self.dfs.interval_start

@@ -15,6 +15,12 @@ package makes those observations *live* instead of post-mortem:
 * :class:`~repro.obs.windows.WindowedMetrics` — bounded-memory streaming
   aggregates over time windows with P² percentile sketches
   (``Telemetry(windows=...)``);
+* :class:`~repro.obs.fairness.FairnessObservatory` — per-account share
+  trajectories, Jain's index and share-error tracking fed by the
+  scheduler's fairshare accounting (``Telemetry(fairness=True)``);
+* :class:`~repro.obs.slo.SLOEngine` — declarative per-run objectives
+  (``p99_wait < 4h``, ``jain >= 0.9``) evaluated as window frames close,
+  breaching into the trace and decision ledger (``Telemetry(slo=[...])``);
 * :mod:`~repro.obs.clock` — the single wall-clock shim every instrument
   reads, freezable in tests;
 * :mod:`~repro.obs.exporters` — JSONL trace streaming and the Prometheus
@@ -32,29 +38,38 @@ from repro.obs.exporters import (
     read_jsonl,
     to_prometheus_text,
 )
+from repro.obs.fairness import FairnessObservatory, jain_index, principal_of
 from repro.obs.ledger import Decision, DecisionKind, DecisionLedger
 from repro.obs.perf import PhaseProfiler
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sampler import PeriodicSampler
+from repro.obs.slo import SLObjective, SLOEngine, parse_slo
 from repro.obs.telemetry import DEFAULT_SAMPLE_INTERVAL, Telemetry
 from repro.obs.tracing import Span, SpanTracer
-from repro.obs.windows import P2Quantile, WindowedMetrics
+from repro.obs.windows import GroupStats, P2Quantile, WindowedMetrics
 
 __all__ = [
     "Counter",
     "Decision",
     "DecisionKind",
     "DecisionLedger",
+    "FairnessObservatory",
     "Gauge",
+    "GroupStats",
     "Histogram",
     "MetricsRegistry",
     "P2Quantile",
     "PeriodicSampler",
     "PhaseProfiler",
+    "SLOEngine",
+    "SLObjective",
     "Span",
     "SpanTracer",
     "Telemetry",
     "WindowedMetrics",
+    "jain_index",
+    "parse_slo",
+    "principal_of",
     "DEFAULT_SAMPLE_INTERVAL",
     "JsonlTraceWriter",
     "export_jsonl",

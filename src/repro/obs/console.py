@@ -26,6 +26,10 @@ __all__ = [
     "render_phase_tree",
     "render_window_table",
     "render_window_percentiles",
+    "render_fairness_table",
+    "render_group_table",
+    "render_slo_summary",
+    "render_breach_tail",
 ]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
@@ -280,6 +284,106 @@ def render_window_percentiles(totals: Mapping) -> str:
         f"completed {totals.get('jobs_completed', 0)}, "
         f"satisfied dyn {totals.get('satisfied_dyn_jobs', 0)}"
     )
+    return "\n".join(lines)
+
+
+def render_fairness_table(
+    rows: Sequence[Mapping],
+    *,
+    title: str = "fairness observatory (per-account shares)",
+) -> str:
+    """Per-account rows: jobs, used core-seconds, share target vs actual."""
+    lines = [
+        title,
+        f"  {'account':<16} {'jobs':>6} {'core-sec':>12} {'share':>8} "
+        f"{'target':>8} {'error':>8} {'mean wait':>10} {'stretch':>8}",
+    ]
+    if not rows:
+        lines.append("  (no usage accrued)")
+        return "\n".join(lines)
+    for row in rows:
+        share = row.get("share")
+        target = row.get("target")
+        error = row.get("share_error")
+        wait = row.get("mean_wait")
+        stretch = row.get("mean_stretch")
+        lines.append(
+            f"  {row['account']:<16} {row.get('jobs', '-'):>6} "
+            f"{row['core_seconds']:>12.0f} "
+            f"{('-' if share is None else f'{share:.3f}'):>8} "
+            f"{('-' if target is None else f'{target:.3f}'):>8} "
+            f"{('-' if error is None else f'{error:.3f}'):>8} "
+            f"{('-' if wait is None else f'{wait:.1f}'):>10} "
+            f"{('-' if stretch is None else f'{stretch:.2f}'):>8}"
+        )
+    return "\n".join(lines)
+
+
+def render_group_table(
+    groups: Sequence[Mapping],
+    *,
+    title: str = "per-account distributions (P² sketches)",
+) -> str:
+    """One row per group: wait/slowdown/stretch means and percentiles."""
+    lines = [
+        title,
+        f"  {'account':<16} {'jobs':>6} {'wait mean':>10} {'p99':>9} "
+        f"{'bsld mean':>10} {'p99':>8} {'stretch mean':>13} {'p99':>8}",
+    ]
+    if not groups:
+        lines.append("  (no jobs folded)")
+        return "\n".join(lines)
+    for g in groups:
+        wait, bsld = g.get("wait", {}), g.get("bounded_slowdown", {})
+        stretch = g.get("stretch", {})
+
+        def col(stat, key, fmt="{:.1f}"):
+            value = stat.get(key)
+            return "-" if value is None else fmt.format(value)
+
+        lines.append(
+            f"  {g['key']:<16} {g['jobs']:>6} "
+            f"{col(wait, 'mean'):>10} {col(wait, 'p99'):>9} "
+            f"{col(bsld, 'mean', '{:.2f}'):>10} {col(bsld, 'p99', '{:.2f}'):>8} "
+            f"{col(stretch, 'mean', '{:.2f}'):>13} {col(stretch, 'p99', '{:.2f}'):>8}"
+        )
+    return "\n".join(lines)
+
+
+def render_slo_summary(summary: Sequence[Mapping]) -> str:
+    """Per-objective verdict table (declared order)."""
+    lines = [
+        "SLO objectives:",
+        f"  {'objective':<28} {'evals':>6} {'breaches':>9} {'worst':>12} verdict",
+    ]
+    if not summary:
+        lines.append("  (no objectives declared)")
+        return "\n".join(lines)
+    for row in summary:
+        worst = row.get("worst_value")
+        lines.append(
+            f"  {row['objective']:<28} {row['evaluations']:>6} "
+            f"{row['breaches']:>9} "
+            f"{('-' if worst is None else f'{worst:.2f}'):>12} "
+            f"{'OK' if row['ok'] else 'BREACHED'}"
+        )
+    return "\n".join(lines)
+
+
+def render_breach_tail(breaches: Sequence[Mapping], n: int = 20) -> str:
+    """The newest ``n`` SLO breaches, one per line."""
+    shown = list(breaches)[-n:]
+    hidden = len(breaches) - len(shown)
+    lines = [f"... {hidden} earlier breaches not shown ..."] if hidden else []
+    for b in shown:
+        subject = b.get("job_id") or b.get("job_user") or "-"
+        lines.append(
+            f"#{b['seq']:<4} window {b['window']:>4} "
+            f"[{b['start']:>9.0f},{b['end']:>9.0f})  "
+            f"{b['objective']:<26} value={b['value']:.2f} {subject}"
+        )
+    if not shown:
+        lines.append("(no breaches recorded)")
     return "\n".join(lines)
 
 

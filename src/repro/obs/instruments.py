@@ -48,6 +48,13 @@ repro_faults_downtime_seconds_total         counter     faults.injector
 repro_faults_delivery_drops_total           counter     faults.transient
 repro_faults_delivery_retries_total         counter     faults.transient
 repro_faults_delivery_degraded_total        counter     faults.transient
+repro_fairness_jain_index                   gauge       obs.fairness
+repro_fairness_max_share_error              gauge       obs.fairness
+repro_fairness_samples_total                counter     obs.fairness
+repro_fairness_share{account}               gauge       obs.fairness (per account)
+repro_fairness_share_target{account}        gauge       obs.fairness (per account)
+repro_slo_evaluations_total                 counter     obs.slo
+repro_slo_breaches_total{objective}         counter     obs.slo (per objective)
 ========================================== =========== ==========================
 
 Like the ledger, the ``repro_faults_delivery_*`` instruments are
@@ -59,7 +66,10 @@ itself (``repro.obs.ledger``) rather than by a bundle here — the ledger
 is its own hook consumer and only exists when
 ``Telemetry(decision_ledger=True)``.  Likewise ``repro_phase_seconds`` is
 registered by the phase profiler (``repro.obs.perf``) and only exists
-when ``Telemetry(profiling=True)``.
+when ``Telemetry(profiling=True)``, the ``repro_fairness_*`` instruments
+by the fairness observatory (``repro.obs.fairness``,
+``Telemetry(fairness=True)``) and the ``repro_slo_*`` instruments by the
+SLO engine (``repro.obs.slo``, ``Telemetry(slo=[...])``).
 """
 
 from __future__ import annotations

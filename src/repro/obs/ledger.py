@@ -71,6 +71,7 @@ class DecisionKind(enum.Enum):
     THROTTLE_REJECT = "throttle_reject"
     PREEMPTION = "preemption"
     NODE_FAILURE_REQUEUE = "node_failure_requeue"
+    SLO_BREACH = "slo_breach"
 
 
 @dataclass(frozen=True, slots=True)
@@ -491,6 +492,18 @@ class DecisionLedger:
             dreq.job.job_id,
             {"user": dreq.job.user, "estimate": estimate, "deadline": dreq.deadline},
         )
+
+    def note_slo_breach(
+        self, now: float, job_id: str | None, payload: dict
+    ) -> Decision:
+        """A declared SLO failed for a closed window (repro.obs.slo).
+
+        ``job_id`` anchors the breach causally — the window's worst-wait
+        job for latency objectives, None for fairness-level ones — so
+        ``causal_chain``/``why`` can explain a breach the same way they
+        explain a wait.
+        """
+        return self._record(DecisionKind.SLO_BREACH, now, job_id, payload)
 
     def note_preemption(self, victim, displaced_by, now: float, cores: int) -> None:
         """A backfilled job is preempted to serve a dynamic request."""

@@ -45,6 +45,9 @@ class Telemetry:
         phase_trace_maxlen: int = 4096,
         windows=None,
         fold_and_discard: bool = False,
+        fairness: bool = False,
+        slo=None,
+        share_targets: dict[str, float] | None = None,
     ) -> None:
         self.enabled = enabled
         self.registry = MetricsRegistry()
@@ -84,6 +87,32 @@ class Telemetry:
         self.fold_and_discard = bool(fold_and_discard)
         if self.fold_and_discard and self.windows is None:
             raise ValueError("fold_and_discard=True requires windows=")
+        #: optional fairness observatory (``fairness=True`` or any ``slo=``);
+        #: the scheduler keeps a plain ``None`` sentinel otherwise — the
+        #: same hook discipline as the ledger and profiler
+        self.fairness = None
+        if enabled and (fairness or slo):
+            from repro.obs.fairness import FairnessObservatory, principal_of
+
+            self.fairness = FairnessObservatory(
+                registry=self.registry, share_targets=share_targets
+            )
+            if self.windows is not None:
+                if not self.windows.grouped:
+                    self.windows.set_group_by(principal_of)
+                self.fairness.attach_windows(self.windows)
+        #: optional declarative SLO engine (``slo=["p99_wait < 4h", ...]``);
+        #: evaluated at window-frame close, so windows are required
+        self.slo = None
+        if enabled and slo:
+            if self.windows is None:
+                raise ValueError("slo= requires windows=")
+            from repro.obs.slo import SLOEngine
+
+            self.slo = SLOEngine(
+                slo, registry=self.registry, fairness=self.fairness
+            )
+            self.slo.attach_windows(self.windows)
         self.sample_interval = sample_interval
         self.sampler: PeriodicSampler | None = None
         self._pending_sources: dict[str, object] = {}

@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import json
 import math
-from typing import IO
+from typing import IO, Callable
 
-__all__ = ["P2Quantile", "StreamingStat", "WindowFrame", "WindowedMetrics",
-           "read_windows_jsonl"]
+__all__ = ["P2Quantile", "StreamingStat", "WindowFrame", "GroupStats",
+           "WindowedMetrics", "read_windows_jsonl"]
 
 
 class P2Quantile:
@@ -169,6 +169,7 @@ class WindowFrame:
         "index", "start", "end", "finished", "completed",
         "wait", "slowdown", "wait_sketches", "slowdown_sketches",
         "busy_core_seconds", "depth_integral", "depth_max",
+        "worst_wait", "worst_wait_job", "worst_wait_user", "worst_wait_submit",
     )
 
     def __init__(self, index: int, start: float, end: float,
@@ -185,6 +186,15 @@ class WindowFrame:
         self.busy_core_seconds = 0.0
         self.depth_integral = 0.0
         self.depth_max = 0
+        #: the job whose wait dominated this window — the causal subject
+        #: SLO breach decisions anchor to (``repro.obs.slo``).  The id is
+        #: the in-run ledger key; user + submit are the process-stable
+        #: identity deterministic exports use (job ids come from a
+        #: process-global counter, so they vary with worker layout)
+        self.worst_wait = -math.inf
+        self.worst_wait_job: str | None = None
+        self.worst_wait_user: str | None = None
+        self.worst_wait_submit: float | None = None
 
     def to_dict(self, total_cores: int | None) -> dict:
         width = self.end - self.start
@@ -218,6 +228,61 @@ def _sketch_values(sketches: dict[float, P2Quantile]) -> dict[str, float]:
     return out
 
 
+class GroupStats:
+    """Whole-run per-group (account) aggregates: the fairness dimension.
+
+    One instance per group key (account, falling back to user — see
+    :func:`repro.obs.fairness.principal_of`), holding streaming wait,
+    bounded-slowdown and stretch statistics with P² percentile sketches.
+    Memory is O(groups), never O(jobs) — the fold-and-discard contract
+    extends to the group dimension unchanged.
+    """
+
+    __slots__ = ("key", "jobs", "completed", "wait", "slowdown", "stretch",
+                 "wait_sketches", "slowdown_sketches", "stretch_sketches")
+
+    def __init__(self, key: str, quantiles: tuple[float, ...]) -> None:
+        self.key = key
+        self.jobs = 0
+        self.completed = 0
+        self.wait = StreamingStat()
+        self.slowdown = StreamingStat()
+        self.stretch = StreamingStat()
+        self.wait_sketches = {q: P2Quantile(q) for q in quantiles}
+        self.slowdown_sketches = {q: P2Quantile(q) for q in quantiles}
+        self.stretch_sketches = {q: P2Quantile(q) for q in quantiles}
+
+    def fold(self, wait: float, slowdown: float, stretch: float,
+             completed: bool) -> None:
+        self.jobs += 1
+        if completed:
+            self.completed += 1
+        self.wait.add(wait)
+        self.slowdown.add(slowdown)
+        self.stretch.add(stretch)
+        for sketch in self.wait_sketches.values():
+            sketch.observe(wait)
+        for sketch in self.slowdown_sketches.values():
+            sketch.observe(slowdown)
+        for sketch in self.stretch_sketches.values():
+            sketch.observe(stretch)
+
+    def to_dict(self) -> dict:
+        out = {
+            "kind": "group",
+            "key": self.key,
+            "jobs": self.jobs,
+            "completed": self.completed,
+            "wait": self.wait.as_dict(),
+            "bounded_slowdown": self.slowdown.as_dict(),
+            "stretch": self.stretch.as_dict(),
+        }
+        out["wait"].update(_sketch_values(self.wait_sketches))
+        out["bounded_slowdown"].update(_sketch_values(self.slowdown_sketches))
+        out["stretch"].update(_sketch_values(self.stretch_sketches))
+        return out
+
+
 class WindowedMetrics:
     """Folds completed jobs and resource telemetry into time windows.
 
@@ -238,6 +303,7 @@ class WindowedMetrics:
         total_cores: int | None = None,
         slowdown_tau: float = 10.0,
         quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+        group_by: str | Callable | None = None,
     ) -> None:
         if width <= 0:
             raise ValueError(f"window width must be positive: {width}")
@@ -249,6 +315,15 @@ class WindowedMetrics:
         self.total_cores = total_cores
         self.slowdown_tau = float(slowdown_tau)
         self.quantiles = tuple(sorted(set(float(q) for q in quantiles)))
+        #: the group-by-account dimension: a job attribute name or a
+        #: callable ``job -> key``; None keeps folding ungrouped
+        self._group_key: Callable | None = None
+        if group_by is not None:
+            self.set_group_by(group_by)
+        self.groups: dict[str, GroupStats] = {}
+        #: called with each :class:`WindowFrame` as it closes (sorted by
+        #: window index) — the SLO engine's evaluation hook
+        self.on_frame_close: Callable | None = None
         #: open frames keyed by window index (window k spans
         #: ``[k*stride, k*stride + width)``)
         self._open: dict[int, WindowFrame] = {}
@@ -279,6 +354,18 @@ class WindowedMetrics:
     def set_capacity(self, total_cores: int) -> None:
         """Installed cores, needed for utilization (wired at attach)."""
         self.total_cores = int(total_cores)
+
+    def set_group_by(self, group_by: str | Callable) -> None:
+        """Enable the per-group fold dimension (attribute name or callable)."""
+        if callable(group_by):
+            self._group_key = group_by
+        else:
+            attr = str(group_by)
+            self._group_key = lambda job: getattr(job, attr)
+
+    @property
+    def grouped(self) -> bool:
+        return self._group_key is not None
 
     # ------------------------------------------------------------------
     # window bookkeeping
@@ -333,8 +420,12 @@ class WindowedMetrics:
         safe = min(self._frontier, self._busy_t, self._depth_t)
         done = [k for k, frame in self._open.items() if frame.end <= safe]
         if done:
+            cb = self.on_frame_close
             for k in sorted(done):
-                self.closed.append(self._open.pop(k))
+                frame = self._open.pop(k)
+                self.closed.append(frame)
+                if cb is not None:
+                    cb(frame)
 
     # ------------------------------------------------------------------
     # feeds
@@ -417,6 +508,19 @@ class WindowedMetrics:
                 sketch.observe(wait)
             for sketch in frame.slowdown_sketches.values():
                 sketch.observe(slowdown)
+            if wait > frame.worst_wait:
+                frame.worst_wait = wait
+                frame.worst_wait_job = job.job_id
+                frame.worst_wait_user = getattr(job, "user", None)
+                frame.worst_wait_submit = submit
+        if self._group_key is not None:
+            key = self._group_key(job)
+            group = self.groups.get(key)
+            if group is None:
+                group = GroupStats(key, self.quantiles)
+                self.groups[key] = group
+            stretch = (wait + run) / max(run, 1.0)
+            group.fold(wait, slowdown, stretch, completed)
 
     # ------------------------------------------------------------------
     # derived whole-run quantities (the equivalence surface)
@@ -479,8 +583,12 @@ class WindowedMetrics:
             out["utilization"] = self.utilization
         return out
 
+    def group_totals(self) -> list[dict]:
+        """Per-group aggregate dicts in deterministic (sorted-key) order."""
+        return [self.groups[k].to_dict() for k in sorted(self.groups)]
+
     def export_jsonl(self, fp: IO[str]) -> int:
-        """Dump meta + totals + one line per materialised window."""
+        """Dump meta + totals + one line per window, then per group."""
         lines = [
             {
                 "kind": "meta",
@@ -494,6 +602,7 @@ class WindowedMetrics:
             self.totals_dict(),
         ]
         lines.extend(frame.to_dict(self.total_cores) for frame in self.frames)
+        lines.extend(self.group_totals())
         for line in lines:
             fp.write(json.dumps(line, separators=(",", ":")) + "\n")
         return len(lines)
@@ -507,10 +616,11 @@ class WindowedMetrics:
 
 
 def read_windows_jsonl(fp: IO[str]) -> dict:
-    """Parse a windows dump into ``{"meta", "totals", "windows"}``."""
+    """Parse a windows dump into ``{"meta", "totals", "windows", "groups"}``."""
     meta: dict = {}
     totals: dict = {}
     windows: list[dict] = []
+    groups: list[dict] = []
     for line in fp:
         line = line.strip()
         if not line:
@@ -523,9 +633,12 @@ def read_windows_jsonl(fp: IO[str]) -> dict:
             totals = record
         elif kind == "window":
             windows.append(record)
+        elif kind == "group":
+            groups.append(record)
         else:
             raise ValueError(f"unknown record kind in windows dump: {record!r}")
     if not meta:
         raise ValueError("windows dump has no meta record")
     windows.sort(key=lambda w: w["index"])
-    return {"meta": meta, "totals": totals, "windows": windows}
+    groups.sort(key=lambda g: g["key"])
+    return {"meta": meta, "totals": totals, "windows": windows, "groups": groups}

@@ -53,6 +53,9 @@ class EventKind(enum.Enum):
     JOB_RELEASE = "job_release"
     # decision-ledger mirror: every scheduler verdict, when the ledger is on
     DECISION = "decision"
+    # a declared service-level objective failed for a closed window
+    # (repro.obs.slo); payload carries the objective, value and window
+    SLO_BREACH = "slo_breach"
 
 
 @dataclass(frozen=True, slots=True)

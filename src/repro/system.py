@@ -83,6 +83,10 @@ class BatchSystem:
             self.server.attach_windows(
                 telemetry.windows, fold_and_discard=telemetry.fold_and_discard
             )
+        if telemetry is not None and telemetry.slo is not None:
+            # breaches mirror into the trace, and into the ledger (when on)
+            # so `why` can explain them through the causal chain
+            telemetry.slo.attach_trace(self.trace, ledger=telemetry.ledger)
         self.scheduler = MauiScheduler(self.engine, self.cluster, self.server, config)
         #: optional :class:`repro.faults.FaultInjector`; built last so the
         #: failure trace replays against the fully wired stack.  A model
@@ -117,6 +121,13 @@ class BatchSystem:
             # events are pending, so it must start after the workload queued
             self.telemetry.start_sampling()
         processed = self.engine.run(until=until, max_events=max_events)
+        if self.telemetry is not None:
+            # close out the fairness/SLO state: a final share sample, then
+            # objective evaluation over still-open (trailing) frames
+            if self.telemetry.slo is not None:
+                self.telemetry.slo.finalize(self.engine.now)
+            elif self.telemetry.fairness is not None:
+                self.telemetry.fairness.finalize(self.engine.now)
         log.info(
             "run finished: t=%.1f, %d events processed, %d trace events recorded",
             self.engine.now,

@@ -27,6 +27,9 @@ class JobSpec:
     walltime: float
     user: str
     group: str = "users"
+    #: fairness principal for share accounting; None keeps the Job default
+    #: ("default"), which makes the fairness observatory fall back to user
+    account: str | None = None
     esp_type: str | None = None
     evolution: EvolutionProfile | None = None
     #: mark the job evolving even without an EvolutionProfile (used by apps
@@ -50,6 +53,7 @@ class JobSpec:
             walltime=self.walltime,
             user=self.user,
             group=self.group,
+            account=self.account if self.account is not None else "default",
             flexibility=flexibility,
             evolution=self.evolution,
             top_priority=self.top_priority,

@@ -226,3 +226,102 @@ class TestPerfObservatoryCLI:
     def test_bench_trend_requires_paths(self):
         with pytest.raises(SystemExit):
             main(["bench-trend"])
+
+
+class TestFairnessRenderers:
+    def test_fairness_table_golden(self):
+        from repro.obs.console import render_fairness_table
+
+        rows = [
+            {"account": "phys", "jobs": 3, "core_seconds": 1200.0,
+             "share": 0.6, "target": 0.5, "share_error": 0.1,
+             "mean_wait": 30.0, "mean_stretch": 1.5},
+        ]
+        out = render_fairness_table(rows)
+        assert out.splitlines()[0] == "fairness observatory (per-account shares)"
+        assert (
+            "  phys                  3         1200    0.600    0.500"
+            "    0.100       30.0     1.50"
+        ) in out
+
+    def test_fairness_table_handles_missing_stats(self):
+        from repro.obs.console import render_fairness_table
+
+        out = render_fairness_table(
+            [{"account": "a", "core_seconds": 5.0, "share": None, "target": None}]
+        )
+        assert "-" in out
+        assert "(no usage accrued)" in render_fairness_table([])
+
+    def test_slo_summary_golden(self):
+        from repro.obs.console import render_slo_summary
+
+        out = render_slo_summary(
+            [
+                {"objective": "p99_wait < 4h", "evaluations": 10, "breaches": 0,
+                 "worst_value": 90.0, "ok": True},
+                {"objective": "jain >= 0.9", "evaluations": 10, "breaches": 4,
+                 "worst_value": 0.41, "ok": False},
+            ]
+        )
+        lines = out.splitlines()
+        assert lines[0] == "SLO objectives:"
+        assert lines[2].endswith("OK")
+        assert lines[3].endswith("BREACHED")
+        assert "(no objectives declared)" in render_slo_summary([])
+
+    def test_breach_tail_hides_older_entries(self):
+        from repro.obs.console import render_breach_tail
+
+        breaches = [
+            {"seq": i, "window": i, "start": 0.0, "end": 10.0,
+             "objective": "max_wait < 5", "value": 8.0, "job_id": f"job.{i}"}
+            for i in range(1, 6)
+        ]
+        out = render_breach_tail(breaches, n=2)
+        assert "... 3 earlier breaches not shown ..." in out
+        assert "job.5" in out and "job.2" not in out
+        assert render_breach_tail([]) == "(no breaches recorded)"
+
+
+class TestFairnessSLOCommands:
+    def test_parser_accepts_new_artifacts(self):
+        for artifact in ("fairness", "slo"):
+            assert build_parser().parse_args([artifact]).artifact == artifact
+
+    def test_slo_flag_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["slo", "--slo", "p99_wait < 4h", "--slo", "jain >= 0.9"]
+        )
+        assert args.slo == ["p99_wait < 4h", "jain >= 0.9"]
+        assert build_parser().parse_args(["table2"]).slo is None
+
+    def test_fairness_prints_shares_and_distributions(self, capsys):
+        assert main(["fairness"]) == 0
+        out = capsys.readouterr().out
+        assert "fairness observatory (per-account shares)" in out
+        assert "jain_index=" in out
+        assert "per-account distributions" in out
+        assert "user06" in out
+
+    def test_slo_prints_verdicts_and_breach_why(self, capsys):
+        assert main(["slo"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO objectives:" in out
+        assert "BREACHED" in out and "OK" in out
+        # the worked breach-to-why example: a causal chain ending in the
+        # slo_breach decision for the window's worst-wait job
+        assert "why job." in out
+        assert "slo_breach" in out
+
+    def test_slo_with_explicit_objective(self, capsys):
+        assert main(["slo", "--slo", "mean_wait < 1000h"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_wait < 1000h" in out
+        assert "BREACHED" not in out
+
+    def test_metrics_includes_account_rows(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "fairness observatory (per-account shares)" in out
+        assert "repro_fairness_jain_index" in out

@@ -127,3 +127,42 @@ class TestRegistry:
         assert reg.help_for("c") == "counts things"
         assert reg.type_of("c") == "counter"
         assert reg.type_of("missing") == "untyped"
+
+
+class TestExporterLabelEscaping:
+    """Prometheus text exposition must escape label values per the spec:
+    backslash, double-quote, and newline."""
+
+    def _line_for(self, value):
+        from repro.obs.exporters import to_prometheus_text
+
+        reg = MetricsRegistry()
+        reg.gauge("g", labels={"account": value}).set(1.0)
+        (line,) = [
+            l for l in to_prometheus_text(reg).splitlines()
+            if not l.startswith("#")
+        ]
+        return line
+
+    def test_plain_value_verbatim(self):
+        assert self._line_for("physics") == 'g{account="physics"} 1'
+
+    def test_quote_escaped(self):
+        assert self._line_for('say "hi"') == 'g{account="say \\"hi\\""} 1'
+
+    def test_backslash_escaped(self):
+        assert self._line_for(r"a\b") == 'g{account="a\\\\b"} 1'
+
+    def test_newline_escaped(self):
+        line = self._line_for("two\nlines")
+        assert line == 'g{account="two\\nlines"} 1'
+        # the exposition stays one line per sample
+        assert "\n" not in line
+
+    def test_escaping_keeps_exposition_parseable(self):
+        from repro.obs.exporters import parse_prometheus_text, to_prometheus_text
+
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels={"u": 'we"ird\\\n'}).inc(3)
+        parsed = parse_prometheus_text(to_prometheus_text(reg))
+        assert list(parsed.values()) == [3.0]

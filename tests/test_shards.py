@@ -313,3 +313,12 @@ class TestEvolvingIfy:
         metrics = system.metrics()
         assert metrics.completed_jobs == 40
         assert metrics.satisfied_dyn_jobs > 0
+
+    def test_fraction_out_of_range_rejected(self):
+        base = make_random_workload(10, 64, evolving_share=0.0, seed=1)
+        for bad in (-0.1, 1.1, 2.0):
+            with pytest.raises(ValueError, match=r"fraction must be in \[0, 1\]"):
+                evolving_ify(base, bad, seed=1)
+        # the boundaries themselves are legal
+        assert evolving_ify(base, 0.0, seed=1).evolving_jobs == 0
+        assert evolving_ify(base, 1.0, seed=1).evolving_jobs == 10

@@ -82,6 +82,7 @@ class TestStreamingStat:
 def _fake_job(submit, start, end, *, state="completed", evolving=False, granted=0):
     return SimpleNamespace(
         job_id="fake",
+        user="u",
         submit_time=submit,
         start_time=start,
         end_time=end,
@@ -316,3 +317,132 @@ class TestBoundedMemory:
         assert server.jobs_discarded + len(server.jobs) >= 150
         assert len(server.jobs) < 150 / 3
         assert len(server._discarded_states) == server.jobs_discarded
+
+
+def _user_job(job_id, user, submit, start, end, *, account="default",
+              state="completed"):
+    return SimpleNamespace(
+        job_id=job_id,
+        user=user,
+        account=account,
+        submit_time=submit,
+        start_time=start,
+        end_time=end,
+        state=SimpleNamespace(value=state),
+        is_evolving=False,
+        dyn_granted=0,
+    )
+
+
+class TestGroupDimension:
+    def test_group_by_attribute_name(self):
+        w = WindowedMetrics(10.0, group_by="user")
+        w.fold_job(_user_job("j1", "alice", 0.0, 2.0, 4.0))
+        w.fold_job(_user_job("j2", "alice", 0.0, 4.0, 8.0))
+        w.fold_job(_user_job("j3", "bob", 0.0, 1.0, 2.0))
+        assert sorted(w.groups) == ["alice", "bob"]
+        assert w.groups["alice"].jobs == 2
+        assert w.groups["alice"].wait.mean == pytest.approx(3.0)
+
+    def test_group_by_callable_and_stretch(self):
+        from repro.obs.fairness import principal_of
+
+        w = WindowedMetrics(10.0, group_by=principal_of)
+        # account set -> grouped under the account, not the user
+        w.fold_job(_user_job("j1", "alice", 0.0, 6.0, 8.0, account="phys"))
+        (group,) = w.groups.values()
+        assert group.key == "phys"
+        # stretch = (wait + run) / max(run, 1): (6 + 2) / 2 = 4
+        assert group.stretch.mean == pytest.approx(4.0)
+
+    def test_ungrouped_by_default(self):
+        w = WindowedMetrics(10.0)
+        assert not w.grouped
+        w.fold_job(_user_job("j1", "alice", 0.0, 2.0, 4.0))
+        assert w.groups == {}
+
+    def test_incomplete_jobs_counted_but_not_completed(self):
+        w = WindowedMetrics(10.0, group_by="user")
+        w.fold_job(_user_job("j1", "alice", 0.0, 2.0, 4.0, state="failed"))
+        assert w.groups["alice"].jobs == 1
+        assert w.groups["alice"].completed == 0
+
+    def test_group_lines_export_and_read_back(self):
+        w = WindowedMetrics(10.0, total_cores=8, group_by="user")
+        w.reset_busy(0.0, 0)
+        for i in range(6):
+            w.fold_job(_user_job(f"j{i}", f"u{i % 2}", 0.0, float(i), float(i + 1)))
+        buf = io.StringIO()
+        w.export_jsonl(buf)
+        buf.seek(0)
+        dump = read_windows_jsonl(buf)
+        assert [g["key"] for g in dump["groups"]] == ["u0", "u1"]
+        assert all(g["jobs"] == 3 for g in dump["groups"])
+        assert dump["groups"][0]["stretch"]["mean"] == pytest.approx(
+            w.groups["u0"].stretch.mean
+        )
+
+
+class TestWorstWaitAnchor:
+    def test_tracks_per_window_worst(self):
+        w = WindowedMetrics(10.0)
+        w.fold_job(_user_job("j1", "alice", 0.0, 2.0, 3.0))
+        w.fold_job(_user_job("j2", "bob", 1.0, 8.0, 9.0))
+        w.fold_job(_user_job("j3", "carol", 11.0, 12.0, 13.0))
+        frames = {f.index: f for f in w.frames}
+        assert frames[0].worst_wait == pytest.approx(7.0)
+        assert frames[0].worst_wait_job == "j2"
+        assert frames[0].worst_wait_user == "bob"
+        assert frames[0].worst_wait_submit == 1.0
+        assert frames[1].worst_wait_job == "j3"
+
+    def test_empty_frame_has_no_anchor(self):
+        w = WindowedMetrics(10.0)
+        w.observe_queue_depth(5.0, 3)
+        (frame,) = w.frames
+        assert frame.worst_wait_job is None
+        assert frame.worst_wait == -math.inf
+
+
+class TestP2Adversarial:
+    """P² accuracy on distributions that stress the marker update rule."""
+
+    def test_constant_stream_is_exact(self):
+        sketch = P2Quantile(0.99)
+        for _ in range(10_000):
+            sketch.observe(42.0)
+        assert sketch.value == pytest.approx(42.0)
+
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.99])
+    def test_two_point_distribution(self, p):
+        # 90 % zeros / 10 % thousands: quantiles this side of 0.9 must
+        # stay near 0, beyond it near 1000 — P² interpolates between
+        # markers so allow a band, but the ordering must hold
+        rng = np.random.default_rng(21)
+        xs = np.where(rng.uniform(size=20_000) < 0.9, 0.0, 1000.0)
+        sketch = P2Quantile(p)
+        for x in xs:
+            sketch.observe(float(x))
+        if p < 0.9:
+            assert sketch.value <= 100.0
+        else:
+            assert sketch.value >= 500.0
+
+    @pytest.mark.parametrize("p", [0.9, 0.99])
+    def test_pareto_tail(self, p):
+        # heavy-tailed (infinite-variance) waits: relative error at the
+        # tracked quantile stays within 15 %
+        rng = np.random.default_rng(22)
+        xs = rng.pareto(1.5, 50_000) * 100.0
+        sketch = P2Quantile(p)
+        for x in xs:
+            sketch.observe(float(x))
+        exact = float(np.quantile(xs, p))
+        assert abs(sketch.value - exact) <= 0.15 * exact
+
+    def test_sorted_ascending_stream(self):
+        # monotone input is the classic P² worst case; median of 0..9999
+        sketch = P2Quantile(0.5)
+        for x in range(10_000):
+            sketch.observe(float(x))
+        assert abs(sketch.value - 4999.5) <= 0.05 * 10_000
