@@ -7,8 +7,10 @@ Usage::
     repro-batchsim fig7 | fig8 | fig9 | fig10 | fig11 | fig12
     repro-batchsim sweep | campaign [-j N]       # multi-seed campaigns
     repro-batchsim trace | timeline | metrics   # live telemetry views
-    repro-batchsim ledger                        # decision-ledger tail
-    repro-batchsim why [--job ID]                # per-job delay attribution
+    repro-batchsim trace --trace-file FILE       # render a recorded dump
+    repro-batchsim ledger [--ledger-file FILE]   # decision-ledger tail
+    repro-batchsim why [--job ID] [--ledger-file FILE]
+    repro-batchsim serve [--backend sim|--replay-from FILE] [--max-open N]
     repro-batchsim fairness                      # per-account share tables
     repro-batchsim slo [--slo OBJ ...]           # SLO verdicts + breach->why
     repro-batchsim resilience [--mtbf S] [--mttr S] [--fault-seed N]
@@ -51,6 +53,20 @@ decision ledger.  ``table2 --telemetry-out DIR --slo OBJ`` dumps
 ``<config>.fairness.jsonl`` and ``<config>.slo.jsonl`` — byte-identical
 per seed, serial or ``-j N`` (a CI golden check ``cmp``'s them).
 
+``serve`` demos the always-on scheduler service (``repro.service``): it
+starts the asyncio service on the chosen backend, drives a workload
+through the submit/query API (a compact dynamic ESP workload on ``sim``,
+a recorded trace with ``--replay-from``), optionally throttles admissions
+per account (``--max-open``), and reports a clean shutdown.  ``table2
+--via-service`` reruns Table II through the service — by the service's
+bit-identity contract the results and ``--telemetry-out`` dumps match the
+direct path byte for byte (a CI golden check ``cmp``'s them).
+
+Subcommands that read artifact files (``trace --trace-file``, ``ledger``/
+``why --ledger-file``, ``perf-report --phases/--windows``, ``metrics
+--windows``, ``bench-trend``, ``serve --replay-from``) exit 2 with a
+one-line error naming the file when it is missing or malformed.
+
 ``perf-report`` renders the performance observatory: the phase-profiler
 tree (where scheduler iterations spend their wall-clock) and the windowed
 streaming aggregates.  Given ``--phases``/``--windows`` JSONL dumps (from
@@ -68,7 +84,29 @@ import logging
 import sys
 from functools import lru_cache
 
-__all__ = ["main"]
+__all__ = ["main", "CliInputError"]
+
+
+class CliInputError(Exception):
+    """A user-supplied input file is missing or unparsable.
+
+    Raised by the subcommands that read JSONL/JSON artifacts; ``main``
+    catches it and exits 2 with a one-line error naming the file instead
+    of dumping a traceback.
+    """
+
+
+def _load_input(path: str, loader, what: str):
+    """Run ``loader(path)`` and normalise failures into CliInputError."""
+    try:
+        return loader(path)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        raise CliInputError(f"cannot read {what} {path!r}: {reason}") from exc
+    except (ValueError, KeyError, TypeError) as exc:
+        # json.JSONDecodeError is a ValueError; schema/shape errors land
+        # here too (missing keys, wrong field types, bad enum values)
+        raise CliInputError(f"malformed {what} {path!r}: {exc}") from exc
 
 
 def _cmd_table1(args) -> str:
@@ -135,6 +173,7 @@ def _cmd_table2(args) -> str:
             shards=getattr(args, "shards", None),
             slo=tuple(slo) if slo else None,
             workers=args.jobs,
+            via_service=getattr(args, "via_service", False),
         )
         if args.telemetry_out is None:
             return render_table2(results)
@@ -146,6 +185,16 @@ def _cmd_table2(args) -> str:
         return (
             render_table2(results)
             + f"\n\ntelemetry written to {args.telemetry_out}/<config>{suffixes}"
+        )
+    if getattr(args, "via_service", False):
+        from repro.experiments.configs import all_configurations
+        from repro.experiments.runner import run_esp_configuration_via_service
+
+        return render_table2(
+            [
+                run_esp_configuration_via_service(cfg, seed=args.seed)
+                for cfg in all_configurations()
+            ]
         )
     from repro.experiments.table2 import run_table2
 
@@ -304,6 +353,15 @@ def _instrumented_dyn_hp(
 def _cmd_trace(args) -> str:
     from repro.obs.console import render_event_tail
 
+    if args.trace_file:
+        # offline mode: render a recorded trace dump instead of simulating
+        from repro.obs.exporters import read_jsonl
+
+        trace = _load_input(args.trace_file, read_jsonl, "trace dump")
+        return (
+            f"trace dump {args.trace_file} — last {args.tail} of "
+            f"{len(trace)} events:\n" + render_event_tail(trace, n=args.tail)
+        )
     result = _instrumented_dyn_hp(args.seed, args.sample_interval, args.trace_maxlen)
     return (
         f"Dyn-HP ESP run (seed {args.seed}) — last {args.tail} trace events:\n"
@@ -337,10 +395,8 @@ def _cmd_metrics(args) -> str:
     if args.windows:
         # offline mode: percentile rows from a windowed-aggregates dump
         from repro.obs.console import render_window_percentiles, render_window_table
-        from repro.obs.windows import read_windows_jsonl
 
-        with open(args.windows) as fp:
-            dump = read_windows_jsonl(fp)
+        dump = _load_input(args.windows, _read_windows_file, "windows dump")
         return "\n".join(
             [
                 f"windowed metrics dump {args.windows}:",
@@ -372,6 +428,20 @@ def _cmd_metrics(args) -> str:
     )
 
 
+def _read_windows_file(path: str):
+    from repro.obs.windows import read_windows_jsonl
+
+    with open(path) as fp:
+        return read_windows_jsonl(fp)
+
+
+def _read_phases_file(path: str):
+    from repro.obs.perf import read_phases_jsonl
+
+    with open(path) as fp:
+        return read_phases_jsonl(fp)
+
+
 def _cmd_perf_report(args) -> str:
     from repro.obs.console import (
         render_phase_tree,
@@ -382,23 +452,15 @@ def _cmd_perf_report(args) -> str:
     sections: list[str] = []
     if args.phases or args.windows:
         if args.phases:
-            from repro.obs.perf import (
-                aggregate_phase_records,
-                read_phases_jsonl,
-                stats_tree,
-            )
+            from repro.obs.perf import aggregate_phase_records, stats_tree
 
-            with open(args.phases) as fp:
-                records = read_phases_jsonl(fp)
+            records = _load_input(args.phases, _read_phases_file, "phases dump")
             sections.append(
                 f"phase breakdown ({len(records)} records from {args.phases}):"
             )
             sections.append(render_phase_tree(stats_tree(aggregate_phase_records(records))))
         if args.windows:
-            from repro.obs.windows import read_windows_jsonl
-
-            with open(args.windows) as fp:
-                dump = read_windows_jsonl(fp)
+            dump = _load_input(args.windows, _read_windows_file, "windows dump")
             if sections:
                 sections.append("")
             sections.append(render_window_percentiles(dump["totals"]))
@@ -448,8 +510,8 @@ def _cmd_bench_trend(args) -> str:
     if not args.baseline or not args.current:
         raise SystemExit("bench-trend requires --baseline FILE and --current FILE")
     rows = diff_snapshots(
-        load_snapshot(args.baseline),
-        load_snapshot(args.current),
+        _load_input(args.baseline, load_snapshot, "bench snapshot"),
+        _load_input(args.current, load_snapshot, "bench snapshot"),
         tolerance=args.tolerance,
     )
     out = (
@@ -465,13 +527,21 @@ def _cmd_bench_trend(args) -> str:
 def _cmd_ledger(args) -> str:
     from repro.obs.console import render_decision_summary, render_decision_tail
 
-    result = _instrumented_dyn_hp(
-        args.seed, args.sample_interval, args.trace_maxlen, True
-    )
-    ledger = result.telemetry.ledger
+    if args.ledger_file:
+        # offline mode: summarise a recorded ledger dump
+        from repro.obs.ledger import load_ledger_jsonl
+
+        ledger = _load_input(args.ledger_file, load_ledger_jsonl, "ledger dump")
+        header = f"ledger dump {args.ledger_file} — causal decision ledger:"
+    else:
+        result = _instrumented_dyn_hp(
+            args.seed, args.sample_interval, args.trace_maxlen, True
+        )
+        ledger = result.telemetry.ledger
+        header = f"Dyn-HP ESP run (seed {args.seed}) — causal decision ledger:"
     return "\n".join(
         [
-            f"Dyn-HP ESP run (seed {args.seed}) — causal decision ledger:",
+            header,
             render_decision_summary(ledger),
             "",
             f"last {args.tail} decisions:",
@@ -483,28 +553,45 @@ def _cmd_ledger(args) -> str:
 def _cmd_why(args) -> str:
     from repro.obs.console import render_attribution, render_causal_chain
 
-    result = _instrumented_dyn_hp(
-        args.seed, args.sample_interval, args.trace_maxlen, True
-    )
-    ledger = result.telemetry.ledger
+    if args.ledger_file:
+        from repro.obs.ledger import load_ledger_jsonl
+
+        ledger = _load_input(args.ledger_file, load_ledger_jsonl, "ledger dump")
+        source = f"ledger dump {args.ledger_file}"
+    else:
+        result = _instrumented_dyn_hp(
+            args.seed, args.sample_interval, args.trace_maxlen, True
+        )
+        ledger = result.telemetry.ledger
+        source = f"Dyn-HP ESP run (seed {args.seed})"
     job_id = args.job or ledger.most_delayed_job()
     if job_id is None:
         return "no jobs recorded"
     chain = ledger.causal_chain(job_id)
     header = (
-        f"Dyn-HP ESP run (seed {args.seed}) — why {job_id}"
+        f"{source} — why {job_id}"
         + ("" if args.job else " (most dyn-delayed job)")
         + ":"
     )
-    return "\n".join(
+    attribution = ledger.attribution(job_id)
+    sections = [header]
+    if attribution is not None:
+        sections.append(render_attribution(attribution))
+    else:
+        # a dump carries decisions, not wait timelines (those follow the
+        # lifecycle trace) — the causal chain below still explains the job
+        sections.append(
+            "  (wait attribution unavailable offline — timelines live in "
+            "the trace, not the ledger dump)"
+        )
+    sections.extend(
         [
-            header,
-            render_attribution(ledger.attribution(job_id)),
             "",
             f"causal chain ({len(chain)} decisions):",
             render_causal_chain(chain),
         ]
     )
+    return "\n".join(sections)
 
 
 #: default objectives for the ``slo`` subcommand — tuned so a stock
@@ -603,6 +690,87 @@ def _cmd_slo(args) -> str:
     return "\n".join(sections)
 
 
+def _cmd_serve(args) -> str:
+    """Demo the always-on scheduler service end to end.
+
+    Starts a :class:`~repro.service.SchedulerService` on the chosen
+    backend, drives a workload through the public API — a compact dynamic
+    ESP workload on ``sim``, a recorded trace on ``--replay-from`` — and
+    shuts down cleanly.  The CI service-smoke job runs this and greps for
+    the final ``service shutdown: clean`` line.
+    """
+    import asyncio
+
+    from repro.maui.config import MauiConfig
+    from repro.service import AdmissionPolicy, SchedulerService, make_backend
+    from repro.workloads.esp import make_esp_workload
+
+    backend_kind = "replay" if args.replay_from else args.backend
+    backend = make_backend(
+        backend_kind, config=MauiConfig(), trace_maxlen=args.trace_maxlen
+    )
+    admission = None
+    if args.max_open is not None:
+        admission = AdmissionPolicy(max_open_per_account=args.max_open)
+
+    if args.replay_from:
+        from repro.obs.exporters import read_jsonl
+
+        recorded = _load_input(args.replay_from, read_jsonl, "trace dump")
+        specs = backend.ingest(recorded)
+        source = f"replayed {len(specs)} submissions from {args.replay_from}"
+        workload = None
+    else:
+        workload = make_esp_workload(
+            total_cores=120, dynamic=True, seed=args.seed
+        )
+        source = f"dynamic ESP workload, {len(workload)} jobs (seed {args.seed})"
+
+    async def _drive() -> list[str]:
+        lines: list[str] = []
+        throttled = 0
+        async with SchedulerService(backend, admission=admission) as service:
+            if workload is not None:
+                from repro.service import AdmissionError
+
+                for spec in workload:
+                    try:
+                        await service.submit(spec)
+                    except AdmissionError:
+                        throttled += 1
+            queued = await service.queue_info()
+            processed = await service.drain()
+            final = await service.queue_info()
+            metrics = service.metrics()
+            lines.append(f"scheduler service on backend {backend.name!r} — {source}")
+            if workload is not None:
+                lines.append(
+                    f"  admitted {service.stats['submitted']} jobs"
+                    + (f", throttled {throttled}" if throttled else "")
+                    + f"; {queued.pending_events} events pending at drain start"
+                )
+            else:
+                lines.append(
+                    f"  {queued.pending_events} events pending at drain start"
+                )
+            lines.append(
+                f"  drained {processed} engine events over "
+                f"{service.stats['cycles']} batches (t={final.now:.0f}s)"
+            )
+            lines.append(
+                f"  final queue: {final.queued} queued, {final.running} running, "
+                f"{final.finished} finished of {final.total_jobs} total"
+            )
+            lines.append(
+                f"  completed {metrics.completed_jobs} jobs, "
+                f"utilization {100.0 * metrics.utilization:.2f}%"
+            )
+        lines.append("service shutdown: clean")
+        return lines
+
+    return "\n".join(asyncio.run(_drive()))
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -627,6 +795,7 @@ _COMMANDS = {
     "resilience": _cmd_resilience,
     "perf-report": _cmd_perf_report,
     "bench-trend": _cmd_bench_trend,
+    "serve": _cmd_serve,
 }
 
 
@@ -857,6 +1026,47 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="campaign only: jobs per random workload seed (default 200)",
     )
+    parser.add_argument(
+        "--via-service",
+        action="store_true",
+        help=(
+            "table2: drive the runs through the always-on scheduler service "
+            "on the simulator backend (results and --telemetry-out dumps are "
+            "byte-identical to the direct path)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="FILE",
+        help="trace: render a recorded .trace.jsonl dump instead of simulating",
+    )
+    parser.add_argument(
+        "--ledger-file",
+        default=None,
+        metavar="FILE",
+        help="ledger/why: read a recorded .ledger.jsonl dump instead of simulating",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["sim", "replay"],
+        default="sim",
+        help="serve: scheduler-service backend (default sim)",
+    )
+    parser.add_argument(
+        "--replay-from",
+        default=None,
+        metavar="FILE",
+        help="serve: shadow-schedule a recorded .trace.jsonl through the "
+        "replay backend",
+    )
+    parser.add_argument(
+        "--max-open",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="serve: admission throttle — max open jobs per account",
+    )
     return parser
 
 
@@ -889,7 +1099,11 @@ def main(argv: list[str] | None = None) -> int:
     for i, name in enumerate(names):
         if i:
             print("\n" + "=" * 72 + "\n")
-        print(_COMMANDS[name](args))
+        try:
+            print(_COMMANDS[name](args))
+        except CliInputError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     return 0
 
 

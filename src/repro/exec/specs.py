@@ -122,6 +122,9 @@ class Table2InstrumentedSpec:
     window_width: float = 600.0
     shards: int | None = None
     slo: tuple[str, ...] | None = None
+    #: drive the run through the scheduler service (repro.service) instead
+    #: of directly — dumps must stay byte-identical either way
+    via_service: bool = False
 
 
 def run_table2_instrumented_result(spec: Table2InstrumentedSpec):
@@ -144,6 +147,7 @@ def run_table2_instrumented_result(spec: Table2InstrumentedSpec):
         window_width=spec.window_width,
         shards=spec.shards,
         slo=spec.slo,
+        via_service=spec.via_service,
     )
     result = dataclasses.replace(result, telemetry=None, trace=None)
     # the metrics object keeps its own telemetry/trace backrefs (sampler

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -10,7 +11,12 @@ from repro.metrics.collector import WorkloadMetrics
 from repro.system import BatchSystem
 from repro.workloads.esp import make_esp_workload
 
-__all__ = ["ESPResult", "run_esp_configuration", "run_esp_configuration_cached"]
+__all__ = [
+    "ESPResult",
+    "run_esp_configuration",
+    "run_esp_configuration_cached",
+    "run_esp_configuration_via_service",
+]
 
 #: the paper's testbed: 15 compute nodes × 2× quad-core Xeon X5570
 DEFAULT_NODES = 15
@@ -100,6 +106,68 @@ def run_esp_configuration(
             system.fault_injector.report()
             if system.fault_injector is not None
             else None
+        ),
+    )
+
+
+def run_esp_configuration_via_service(
+    configuration: ESPConfiguration,
+    *,
+    num_nodes: int = DEFAULT_NODES,
+    cores_per_node: int = DEFAULT_CORES_PER_NODE,
+    seed: int = DEFAULT_SEED,
+    walltime_factor: float = 1.0,
+    telemetry=None,
+    trace_maxlen: int | None = None,
+    fault_model=None,
+) -> ESPResult:
+    """The same ESP run, driven through the scheduler service.
+
+    Submits every spec through :class:`repro.service.SchedulerService` on
+    the simulator backend and drains — the service's bit-identity contract
+    says the returned result is indistinguishable from
+    :func:`run_esp_configuration` (same schedules, same stats, byte-equal
+    trace/ledger exports); the ``table2 --via-service`` CI golden check and
+    ``tests/test_service.py`` both compare the two paths.
+    """
+    from repro.service import SchedulerService, SimBackend
+
+    backend = SimBackend(
+        num_nodes=num_nodes,
+        cores_per_node=cores_per_node,
+        config=configuration.maui,
+        telemetry=telemetry,
+        trace_maxlen=trace_maxlen,
+        fault_model=fault_model,
+    )
+    workload = make_esp_workload(
+        total_cores=num_nodes * cores_per_node,
+        dynamic=configuration.dynamic_workload,
+        seed=seed,
+        walltime_factor=walltime_factor,
+    )
+
+    async def _drive() -> None:
+        async with SchedulerService(backend) as service:
+            for spec in workload:
+                await service.submit(spec)
+            await service.drain()
+
+    asyncio.run(_drive())
+    core = backend.core
+    if core.server.queue or core.server.active_count:
+        raise RuntimeError(
+            f"{configuration.name}: workload did not drain through the service "
+            f"({len(core.server.queue)} queued)"
+        )
+    return ESPResult(
+        configuration=configuration,
+        metrics=backend.metrics(),
+        scheduler_stats=dict(core.scheduler.stats),
+        telemetry=telemetry,
+        trace=core.trace if telemetry is not None else None,
+        resilience=(
+            core.fault_injector.report() if core.fault_injector is not None else None
         ),
     )
 

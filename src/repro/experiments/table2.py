@@ -10,6 +10,7 @@ from repro.experiments.runner import (
     ESPResult,
     run_esp_configuration,
     run_esp_configuration_cached,
+    run_esp_configuration_via_service,
 )
 from repro.metrics.report import render_table
 
@@ -69,12 +70,16 @@ def _run_instrumented_config(
     window_width: float = 600.0,
     shards: int | None = None,
     slo: tuple[str, ...] | None = None,
+    via_service: bool = False,
 ) -> ESPResult:
     """Run one configuration with full telemetry and write its dumps.
 
     This is the single implementation behind both the serial loop and the
     parallel exec-engine worker (``Table2InstrumentedSpec``) — one writer
-    is what makes ``-j N`` dumps byte-identical to serial ones.
+    is what makes ``-j N`` dumps byte-identical to serial ones.  With
+    ``via_service`` the run is driven through the scheduler service on the
+    simulator backend instead of directly — by the service's bit-identity
+    contract the dumps must stay byte-identical (the CI golden check).
     """
     from repro.obs import Telemetry, export_jsonl, to_prometheus_text
 
@@ -85,9 +90,8 @@ def _run_instrumented_config(
         windows=window_width if (profile or slo) else None,
         slo=list(slo) if slo else None,
     )
-    result = run_esp_configuration(
-        with_shards(cfg, shards), seed=seed, telemetry=telemetry
-    )
+    runner = run_esp_configuration_via_service if via_service else run_esp_configuration
+    result = runner(with_shards(cfg, shards), seed=seed, telemetry=telemetry)
     if out_dir is not None:
         out = Path(out_dir)
         out.mkdir(parents=True, exist_ok=True)
@@ -122,6 +126,7 @@ def run_table2_instrumented(
     shards: int | None = None,
     slo: tuple[str, ...] | None = None,
     workers: int = 1,
+    via_service: bool = False,
 ) -> list[ESPResult]:
     """Table II with full telemetry: fresh runs, one Telemetry each.
 
@@ -145,6 +150,9 @@ def run_table2_instrumented(
     golden check relies on this).  ``shards`` overrides the scheduler
     shard count — the CI sharded-vs-unsharded golden check runs this twice
     (``shards=1`` vs ``shards=0``) and byte-compares the dumps.
+    ``via_service`` drives each run through the scheduler service on the
+    simulator backend (``repro.service``); the CI service golden check
+    byte-compares its dumps against the direct path's.
     """
     from repro.exec import map_specs, resolve_workers
 
@@ -159,6 +167,7 @@ def run_table2_instrumented(
                 window_width=window_width,
                 shards=shards,
                 slo=slo,
+                via_service=via_service,
             )
             for cfg in all_configurations()
         ]
@@ -174,6 +183,7 @@ def run_table2_instrumented(
             window_width=window_width,
             shards=shards,
             slo=tuple(slo) if slo else None,
+            via_service=via_service,
         )
         for cfg in all_configurations()
     ]

@@ -42,6 +42,9 @@ class JobRecord:
     dyn_granted: int
     dyn_rejected: int
     accrued_delay: float
+    #: requested walltime [s]; -1.0 marks legacy records that predate the
+    #: field (SWF export then writes -1 for field 9, "unknown")
+    walltime: float = -1.0
 
     @property
     def wait_time(self) -> float | None:
@@ -72,6 +75,7 @@ class JobRecord:
             dyn_granted=job.dyn_granted,
             dyn_rejected=job.dyn_rejected,
             accrued_delay=job.accrued_delay,
+            walltime=job.walltime,
         )
 
 

@@ -55,6 +55,12 @@ repro_fairness_share{account}               gauge       obs.fairness (per accoun
 repro_fairness_share_target{account}        gauge       obs.fairness (per account)
 repro_slo_evaluations_total                 counter     obs.slo
 repro_slo_breaches_total{objective}         counter     obs.slo (per objective)
+repro_service_commands_total                counter     service.service
+repro_service_submissions_total             counter     service.service
+repro_service_admission_rejects_total       counter     service.service
+repro_service_cancels_total                 counter     service.service
+repro_service_grow_requests_total           counter     service.service
+repro_service_cycles_total                  counter     service.service
 ========================================== =========== ==========================
 
 Like the ledger, the ``repro_faults_delivery_*`` instruments are
@@ -82,6 +88,7 @@ __all__ = [
     "SchedulerInstruments",
     "ClusterInstruments",
     "FaultInstruments",
+    "ServiceInstruments",
 ]
 
 
@@ -235,6 +242,39 @@ class FaultInstruments:
     def on_recovery(self, downtime: float) -> None:
         self.node_recoveries.inc()
         self.downtime_seconds.inc(downtime)
+
+
+class ServiceInstruments:
+    """API-surface counters for the always-on scheduler service.
+
+    These count *service commands*, not scheduler decisions — the
+    scheduler-side instruments above keep their exact meaning whether the
+    stack is driven directly or through the service, which is part of the
+    service's bit-identity contract.
+    """
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        registry: MetricsRegistry = telemetry.registry
+        self.commands = registry.counter(
+            "repro_service_commands_total", "Service API commands executed"
+        )
+        self.submissions = registry.counter(
+            "repro_service_submissions_total", "Jobs admitted through the service"
+        )
+        self.admission_rejects = registry.counter(
+            "repro_service_admission_rejects_total",
+            "Submissions refused by the admission policy",
+        )
+        self.cancels = registry.counter(
+            "repro_service_cancels_total", "Cancel commands executed"
+        )
+        self.grow_requests = registry.counter(
+            "repro_service_grow_requests_total",
+            "Dynamic grant requests entered through the service",
+        )
+        self.cycles = registry.counter(
+            "repro_service_cycles_total", "Backend advance cycles (drain batches)"
+        )
 
 
 class ClusterInstruments:

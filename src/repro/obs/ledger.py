@@ -44,6 +44,7 @@ __all__ = [
     "Decision",
     "DecisionKind",
     "DecisionLedger",
+    "load_ledger_jsonl",
     "ATTRIBUTION_EPSILON",
 ]
 
@@ -651,3 +652,56 @@ class DecisionLedger:
             f"<DecisionLedger {len(self._decisions)} decisions, "
             f"{len(self._grant_totals)} grants, {len(self._timelines)} timelines>"
         )
+
+
+def load_ledger_jsonl(source: str | Path) -> DecisionLedger:
+    """Rebuild a ledger from its :meth:`DecisionLedger.export_jsonl` dump.
+
+    Decisions, causal chains (subject *and* victim links) and the
+    per-grant delay charges are all reconstructed, so ``summary()``,
+    ``causal_chain()``, ``grants()`` and ``most_delayed_job()`` work
+    offline exactly as they do live.  Wait *timelines* are not in the
+    dump — they follow the lifecycle trace — so :meth:`attribution`
+    returns None for every job; pair the ledger with its trace export
+    when attribution is needed.
+
+    Raises :class:`ValueError` (with the offending line number) on a
+    malformed row, and whatever ``open`` raises on an unreadable path.
+    """
+    path = Path(source)
+    ledger = DecisionLedger()
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                decision = Decision(
+                    seq=int(row["seq"]),
+                    time=float(row["t"]),
+                    kind=DecisionKind(row["kind"]),
+                    job_id=row.get("job_id"),
+                    payload=dict(row.get("payload") or {}),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: malformed ledger row ({exc})") from exc
+            ledger._decisions.append(decision)
+            if decision.job_id is not None:
+                ledger._chain.setdefault(decision.job_id, []).append(decision)
+            if decision.kind in (DecisionKind.DYN_GRANT, DecisionKind.EXTENSION_GRANT):
+                grant_id = decision.payload.get("grant_id")
+                if grant_id is not None:
+                    ledger._grant_totals[grant_id] = float(
+                        decision.payload.get("total_delay", 0.0)
+                    )
+                    for victim in decision.payload.get("victims", ()):
+                        victim_id = victim.get("job_id")
+                        if victim_id is None:
+                            continue
+                        ledger._charges.setdefault(victim_id, []).append(
+                            (grant_id, float(victim.get("delay", 0.0)))
+                        )
+                        if victim_id != decision.job_id:
+                            ledger._chain.setdefault(victim_id, []).append(decision)
+    return ledger

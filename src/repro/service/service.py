@@ -1,0 +1,389 @@
+"""The always-on scheduler service.
+
+:class:`SchedulerService` turns the policy core into a long-lived asyncio
+service: many concurrent tenants submit, cancel, query and negotiate
+dynamic grants through coroutine calls, while a single consumer task
+serialises every command onto the backend.  That single-consumer design is
+what preserves the repo's bit-identity discipline — commands are applied
+in FIFO arrival order, so a given submission order produces exactly one
+schedule no matter how many client coroutines raced to enqueue it.
+
+Time does not pass on its own: the simulation-facing backends advance when
+a client awaits :meth:`SchedulerService.drain` (run until idle) or
+:meth:`~SchedulerService.run_until` (bounded advance).  During a drain the
+service processes the engine in batches and interleaves newly arrived
+commands between batches, so tenants can keep submitting and querying
+*while* the backend runs — the always-on behaviour of a real batch system,
+compressed onto the simulator's virtual clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Callable
+
+from repro.cluster.allocation import ResourceRequest
+from repro.jobs.job import Job
+from repro.service.api import (
+    AdmissionError,
+    AdmissionPolicy,
+    GrowResult,
+    JobInfo,
+    QueueInfo,
+    ServiceClosed,
+    UnknownJob,
+    principal_of,
+)
+from repro.service.backend import Backend
+from repro.workloads.spec import JobSpec
+
+__all__ = ["SchedulerService"]
+
+log = logging.getLogger("repro.service")
+
+#: engine events processed per drain batch before newly arrived commands
+#: are interleaved; large enough to amortise the asyncio hop, small enough
+#: that a tenant's query never waits behind a whole campaign
+_DEFAULT_BATCH_EVENTS = 4096
+
+
+class _Command:
+    """One queued API command: a closure plus the future awaiting it."""
+
+    __slots__ = ("fn", "future", "drains")
+
+    def __init__(
+        self, fn: Callable[[], Any], future: asyncio.Future, *, drains: bool = False
+    ) -> None:
+        self.fn = fn
+        self.future = future
+        #: drain/run_until commands are handled by the consumer's advance
+        #: loop rather than executed as plain closures
+        self.drains = drains
+
+
+_SHUTDOWN = object()
+
+
+class SchedulerService:
+    """Submission/query front-end over a pluggable scheduler backend."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        *,
+        admission: AdmissionPolicy | None = None,
+        batch_events: int = _DEFAULT_BATCH_EVENTS,
+    ) -> None:
+        if batch_events <= 0:
+            raise ValueError(f"batch_events must be positive: {batch_events}")
+        self.backend = backend
+        self.admission = admission if admission is not None else AdmissionPolicy()
+        self.batch_events = batch_events
+        self._queue: asyncio.Queue | None = None
+        self._consumer: asyncio.Task | None = None
+        #: principal -> ids of jobs admitted through this service that have
+        #: not yet been seen terminal (pruned lazily on admission checks)
+        self._open: dict[str, set[str]] = {}
+        self.stats: dict[str, int] = {
+            "commands": 0,
+            "submitted": 0,
+            "admission_rejected": 0,
+            "cancelled": 0,
+            "grow_requests": 0,
+            "cycles": 0,
+            "events_processed": 0,
+        }
+        self._obs = None
+        telemetry = backend.core.telemetry
+        if telemetry is not None and telemetry.enabled:
+            from repro.obs.instruments import ServiceInstruments
+
+            self._obs = ServiceInstruments(telemetry)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._consumer is not None and not self._consumer.done()
+
+    async def start(self) -> None:
+        """Start the consumer task (idempotent)."""
+        if self.running:
+            return
+        self._queue = asyncio.Queue()
+        self._consumer = asyncio.create_task(
+            self._consume(), name="repro-scheduler-service"
+        )
+        log.info("service started on backend %r", self.backend.name)
+
+    async def stop(self) -> None:
+        """Stop the consumer after the commands already queued are done."""
+        if not self.running:
+            return
+        assert self._queue is not None
+        self._queue.put_nowait(_SHUTDOWN)
+        await self._consumer
+        self._consumer = None
+        self._queue = None
+        log.info("service stopped (clean shutdown)")
+
+    async def __aenter__(self) -> "SchedulerService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # tenant API (all coroutine-safe; commands apply in arrival order)
+    # ------------------------------------------------------------------
+    async def submit(self, spec: JobSpec) -> JobInfo:
+        """Admit and submit one job; raises :class:`AdmissionError` when
+        the tenant is throttled."""
+        return await self._call(lambda: self._do_submit(spec))
+
+    async def cancel(self, job_id: str, reason: str = "cancelled") -> JobInfo:
+        """Cancel a queued job (``qdel``)."""
+        return await self._call(lambda: self._do_cancel(job_id, reason))
+
+    async def job_info(self, job_id: str) -> JobInfo:
+        """Snapshot one job's state; raises :class:`UnknownJob`."""
+        return await self._call(lambda: self._do_job_info(job_id))
+
+    async def queue_info(self) -> QueueInfo:
+        """Snapshot queue depths, clock and per-principal open counts."""
+        return await self._call(self._do_queue_info)
+
+    async def request_grow(
+        self, job_id: str, cores: int, *, timeout: float | None = None
+    ) -> GrowResult:
+        """Enter a dynamic grant request for a *running* job.
+
+        Resolves once the scheduler grants or rejects the request — which
+        happens while some client drains the backend, so callers typically
+        ``asyncio.create_task`` this and then await :meth:`drain`.  With
+        ``timeout`` the request uses the negotiation protocol (seconds of
+        *simulation* time before it expires).
+        """
+        if cores <= 0:
+            raise ValueError(f"cores must be positive: {cores}")
+        loop = asyncio.get_running_loop()
+        resolved: asyncio.Future = loop.create_future()
+
+        def _entered() -> None:
+            job = self._find_or_raise(job_id)
+
+            def _on_resolution(allocation) -> None:
+                if not resolved.done():
+                    resolved.set_result(
+                        GrowResult(
+                            job_id=job_id,
+                            granted=allocation is not None,
+                            cores=cores,
+                            resolved_at=self.backend.now,
+                        )
+                    )
+
+            self.backend.request_grow(
+                job,
+                ResourceRequest(cores=cores),
+                _on_resolution,
+                timeout=timeout,
+            )
+            self.stats["grow_requests"] += 1
+            if self._obs is not None:
+                self._obs.grow_requests.inc()
+
+        await self._call(_entered)
+        return await resolved
+
+    async def drain(self) -> int:
+        """Advance the backend until it has no pending events.
+
+        Newly arriving commands are interleaved between event batches, so
+        other tenants stay responsive during long drains.  Returns the
+        number of engine events processed.
+        """
+        return await self._call(None, drains=True)
+
+    async def run_until(self, time: float) -> int:
+        """Advance the backend's clock up to ``time`` (same interleaving)."""
+        return await self._call(lambda: float(time), drains=True)
+
+    def metrics(self):
+        """Workload metrics over everything the backend has seen.
+
+        Synchronous and read-only by design: it reflects state as of the
+        last processed command, exactly like scraping a metrics endpoint.
+        """
+        return self.backend.metrics()
+
+    # ------------------------------------------------------------------
+    # command plumbing
+    # ------------------------------------------------------------------
+    async def _call(self, fn: Callable[[], Any] | None, *, drains: bool = False):
+        if not self.running or self._queue is None:
+            raise ServiceClosed("service is not running; use 'async with' or start()")
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(_Command(fn or (lambda: None), future, drains=drains))
+        return await future
+
+    def _execute(self, cmd: _Command) -> None:
+        self.stats["commands"] += 1
+        if self._obs is not None:
+            self._obs.commands.inc()
+        try:
+            result = cmd.fn()
+        except Exception as exc:
+            if not cmd.future.done():
+                cmd.future.set_exception(exc)
+        else:
+            if not cmd.future.done():
+                cmd.future.set_result(result)
+
+    async def _consume(self) -> None:
+        assert self._queue is not None
+        queue = self._queue
+        while True:
+            cmd = await queue.get()
+            if cmd is _SHUTDOWN:
+                return
+            if cmd.drains:
+                await self._drain_backend(cmd)
+                continue
+            self._execute(cmd)
+
+    async def _drain_backend(self, cmd: _Command) -> None:
+        """Advance the backend, interleaving queued commands between batches.
+
+        Nested drain commands encountered mid-drain simply share this
+        drain's completion (the backend is idle either way); a shutdown
+        sentinel is re-queued so the consumer loop exits right after.
+        """
+        assert self._queue is not None
+        queue = self._queue
+        bound = cmd.fn()
+        until = bound if isinstance(bound, float) else None
+        waiters = [cmd.future]
+        processed = 0
+        stop_after = False
+        error: Exception | None = None
+        self.backend.begin_cycle()
+        try:
+            while self.backend.pending():
+                if until is not None:
+                    peek = self.backend.core.engine.peek_time()
+                    if peek is None or peek > until:
+                        break
+                processed += self.backend.advance(
+                    until=until, max_events=self.batch_events
+                )
+                self.stats["cycles"] += 1
+                if self._obs is not None:
+                    self._obs.cycles.inc()
+                # let client coroutines run, then apply what they enqueued
+                await asyncio.sleep(0)
+                while not queue.empty():
+                    nxt = queue.get_nowait()
+                    if nxt is _SHUTDOWN:
+                        stop_after = True
+                    elif nxt.drains:
+                        waiters.append(nxt.future)
+                    else:
+                        self._execute(nxt)
+        except Exception as exc:
+            # a backend failure belongs to the drain's awaiters, not to the
+            # consumer task — the service stays up for other tenants
+            error = exc
+        finally:
+            self.backend.end_cycle()
+        self.stats["events_processed"] += processed
+        for future in waiters:
+            if not future.done():
+                if error is not None:
+                    future.set_exception(error)
+                else:
+                    future.set_result(processed)
+        if stop_after:
+            queue.put_nowait(_SHUTDOWN)
+
+    # ------------------------------------------------------------------
+    # command bodies (run inside the consumer task)
+    # ------------------------------------------------------------------
+    def _find_or_raise(self, job_id: str) -> Job:
+        job = self.backend.find_job(job_id)
+        if job is None:
+            raise UnknownJob(job_id)
+        return job
+
+    def _prune_open(self) -> int:
+        """Drop terminal jobs from the open-count index; return the total."""
+        total = 0
+        for principal, ids in list(self._open.items()):
+            for job_id in list(ids):
+                job = self.backend.find_job(job_id)
+                # a discarded (folded) job is by definition terminal
+                if job is None or job.is_finished:
+                    ids.discard(job_id)
+            if ids:
+                total += len(ids)
+            else:
+                del self._open[principal]
+        return total
+
+    def _do_submit(self, spec: JobSpec) -> JobInfo:
+        principal = principal_of(spec.user, spec.account)
+        open_total = self._prune_open()
+        open_mine = len(self._open.get(principal, ()))
+        try:
+            self.admission.check(principal, open_mine, open_total)
+        except AdmissionError:
+            self.stats["admission_rejected"] += 1
+            if self._obs is not None:
+                self._obs.admission_rejects.inc()
+            raise
+        job = self.backend.submit(spec)
+        self._open.setdefault(principal, set()).add(job.job_id)
+        self.stats["submitted"] += 1
+        if self._obs is not None:
+            self._obs.submissions.inc()
+        return JobInfo.from_job(job)
+
+    def _do_cancel(self, job_id: str, reason: str) -> JobInfo:
+        job = self._find_or_raise(job_id)
+        self.backend.cancel(job, reason)
+        self.stats["cancelled"] += 1
+        if self._obs is not None:
+            self._obs.cancels.inc()
+        return JobInfo.from_job(job)
+
+    def _do_job_info(self, job_id: str) -> JobInfo:
+        return JobInfo.from_job(self._find_or_raise(job_id))
+
+    def _do_queue_info(self) -> QueueInfo:
+        server = self.backend.core.server
+        counts = {"queued": 0, "running": 0, "dynqueued": 0, "finished": 0}
+        for job in server.jobs.values():
+            if job.is_finished:
+                counts["finished"] += 1
+            else:
+                counts[job.state.value] = counts.get(job.state.value, 0) + 1
+        counts["finished"] += server.jobs_discarded
+        self._prune_open()
+        return QueueInfo(
+            now=self.backend.now,
+            queued=counts["queued"],
+            running=counts["running"],
+            dynqueued=counts["dynqueued"],
+            finished=counts["finished"],
+            total_jobs=len(server.jobs) + server.jobs_discarded,
+            pending_events=self.backend.pending(),
+            open_by_principal={p: len(ids) for p, ids in sorted(self._open.items())},
+        )
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"<SchedulerService {state} backend={self.backend.name!r}>"

@@ -5,6 +5,13 @@ engine, cluster, server and scheduler, lets you submit jobs (immediately or
 at future times), runs the simulation and hands back
 :class:`~repro.metrics.collector.WorkloadMetrics`.
 
+The wiring itself lives in :class:`repro.service.core.PolicyCore` — the
+policy core extracted for the always-on scheduler service
+(:mod:`repro.service`).  ``BatchSystem`` composes a core and drives it to
+completion in one call; the service backends drive the *same* core
+incrementally, which is why a workload pushed through the service
+reproduces the direct run bit for bit.
+
 Example
 -------
 >>> from repro import BatchSystem, MauiConfig
@@ -23,11 +30,9 @@ import logging
 from repro.cluster.machine import Cluster
 from repro.jobs.job import Job
 from repro.maui.config import MauiConfig
-from repro.maui.scheduler import MauiScheduler
 from repro.metrics.collector import WorkloadMetrics
-from repro.rms.server import Application, Server
-from repro.sim.engine import Engine
-from repro.sim.events import TraceLog
+from repro.rms.server import Application
+from repro.service.core import PolicyCore
 
 __all__ = ["BatchSystem"]
 
@@ -49,53 +54,24 @@ class BatchSystem:
         trace_maxlen: int | None = None,
         fault_model=None,
     ) -> None:
-        self.engine = Engine(start_time=start_time)
-        if cluster is None:
-            dyn_nodes = 0
-            if config is not None and config.use_dynamic_partition:
-                # default fence: one node, overridable by passing a cluster
-                dyn_nodes = 1
-            cluster = Cluster.homogeneous(
-                num_nodes, cores_per_node, dynamic_partition_nodes=dyn_nodes
-            )
-        self.cluster = cluster
-        self.trace = TraceLog(maxlen=trace_maxlen)
-        #: optional :class:`repro.obs.Telemetry`; None keeps every hook site
-        #: a single attribute check (the benchmarked disabled path)
-        self.telemetry = telemetry
-        if telemetry is not None:
-            telemetry.ensure_sampler(self.engine)
-            self.cluster.attach_telemetry(telemetry, self.engine)
-            if telemetry.ledger is not None:
-                # wait timelines follow the lifecycle events; decisions are
-                # mirrored into the trace for JSONL export
-                telemetry.ledger.attach_trace(self.trace)
-            if telemetry.profiler is not None:
-                # the engine wraps every dispatch; scheduler phases nest
-                # inside the owning dispatch automatically
-                self.engine.profiler = telemetry.profiler
-        self.server = Server(
-            self.engine, self.cluster, self.trace, telemetry=telemetry
+        self.core = PolicyCore(
+            num_nodes,
+            cores_per_node,
+            config,
+            cluster=cluster,
+            start_time=start_time,
+            telemetry=telemetry,
+            trace_maxlen=trace_maxlen,
+            fault_model=fault_model,
         )
-        if telemetry is not None and telemetry.windows is not None:
-            if telemetry.windows.total_cores is None:
-                telemetry.windows.set_capacity(self.cluster.total_cores)
-            self.server.attach_windows(
-                telemetry.windows, fold_and_discard=telemetry.fold_and_discard
-            )
-        if telemetry is not None and telemetry.slo is not None:
-            # breaches mirror into the trace, and into the ledger (when on)
-            # so `why` can explain them through the causal chain
-            telemetry.slo.attach_trace(self.trace, ledger=telemetry.ledger)
-        self.scheduler = MauiScheduler(self.engine, self.cluster, self.server, config)
-        #: optional :class:`repro.faults.FaultInjector`; built last so the
-        #: failure trace replays against the fully wired stack.  A model
-        #: that injects nothing leaves the run bit-identical to no model.
-        self.fault_injector = None
-        if fault_model is not None:
-            from repro.faults import FaultInjector
-
-            self.fault_injector = FaultInjector(self, fault_model)
+        # facade: the historical attribute surface, aliased to the core
+        self.engine = self.core.engine
+        self.cluster = self.core.cluster
+        self.trace = self.core.trace
+        self.telemetry = self.core.telemetry
+        self.server = self.core.server
+        self.scheduler = self.core.scheduler
+        self.fault_injector = self.core.fault_injector
 
     @property
     def config(self) -> MauiConfig:
@@ -116,18 +92,9 @@ class BatchSystem:
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Run the simulation to completion (or ``until``)."""
-        if self.telemetry is not None:
-            # arm here, not at construction: the sampler only re-arms while
-            # events are pending, so it must start after the workload queued
-            self.telemetry.start_sampling()
+        self.core.begin_cycle()
         processed = self.engine.run(until=until, max_events=max_events)
-        if self.telemetry is not None:
-            # close out the fairness/SLO state: a final share sample, then
-            # objective evaluation over still-open (trailing) frames
-            if self.telemetry.slo is not None:
-                self.telemetry.slo.finalize(self.engine.now)
-            elif self.telemetry.fairness is not None:
-                self.telemetry.fairness.finalize(self.engine.now)
+        self.core.end_cycle()
         log.info(
             "run finished: t=%.1f, %d events processed, %d trace events recorded",
             self.engine.now,
@@ -138,9 +105,7 @@ class BatchSystem:
 
     def metrics(self) -> WorkloadMetrics:
         """Workload metrics over everything submitted so far."""
-        return WorkloadMetrics.from_server(
-            self.server, self.cluster, telemetry=self.telemetry
-        )
+        return self.core.metrics()
 
     def __repr__(self) -> str:
         return f"<BatchSystem t={self.engine.now:.1f} {self.cluster!r}>"

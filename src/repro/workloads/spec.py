@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.cluster.allocation import ResourceRequest
 from repro.jobs.evolution import EvolutionProfile
 from repro.jobs.job import Job, JobFlexibility
 from repro.rms.server import Application
-from repro.system import BatchSystem
+
+if TYPE_CHECKING:  # import-time cycle: system -> service -> backend -> spec
+    from repro.system import BatchSystem
 
 __all__ = ["JobSpec", "Workload"]
 

@@ -24,10 +24,23 @@ from repro.workloads.spec import JobSpec, Workload
 
 __all__ = ["to_swf", "from_swf"]
 
-_STATUS = {
-    JobState.COMPLETED.value: 1,
-    JobState.ABORTED.value: 0,
-}
+def _swf_status(record) -> int:
+    """SWF field 11 for a job record: 1=completed, 0=failed, 5=cancelled.
+
+    An aborted job that never started is a cancellation (``qdel`` while
+    queued); an aborted job with a start is a failure/kill (walltime
+    overrun, operator abort, node loss).  A job left PREEMPTED at export
+    time was requeued and then never ran again, which SWF also calls a
+    failure.  Anything non-terminal (still queued/running when the trace
+    was cut) stays ``-1``, "unknown".
+    """
+    if record.state == JobState.COMPLETED.value:
+        return 1
+    if record.state == JobState.ABORTED.value:
+        return 5 if record.start_time is None else 0
+    if record.state == JobState.PREEMPTED.value:
+        return 0
+    return -1
 
 
 def to_swf(metrics: WorkloadMetrics, *, comments: bool = True) -> str:
@@ -46,7 +59,8 @@ def to_swf(metrics: WorkloadMetrics, *, comments: bool = True) -> str:
         else:
             runtime = -1
         submit = int(round(record.submit_time))
-        status = _STATUS.get(record.state, -1)
+        status = _swf_status(record)
+        req_time = int(round(record.walltime)) if record.walltime > 0 else -1
         fields = [
             i,                      # 1 job number
             submit,                 # 2 submit time
@@ -56,7 +70,7 @@ def to_swf(metrics: WorkloadMetrics, *, comments: bool = True) -> str:
             -1,                     # 6 average CPU time used
             -1,                     # 7 used memory
             record.cores_requested, # 8 requested processors
-            -1,                     # 9 requested time (walltime not kept in records)
+            req_time,               # 9 requested time (the job's walltime)
             -1,                     # 10 requested memory
             status,                 # 11 status
             user_id,                # 12 user id

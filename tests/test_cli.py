@@ -109,3 +109,78 @@ class TestJobsFlag:
         out = capsys.readouterr().out
         assert "Random mixed-workload campaign" in out
         assert "Satisfied" in out
+
+
+class TestInputHardening:
+    """File-reading subcommands fail cleanly: exit 2, one-line error."""
+
+    def check(self, capsys, argv, path):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ")
+        assert str(path) in lines[0]
+
+    def test_trace_file_missing(self, capsys, tmp_path):
+        path = tmp_path / "nope.trace.jsonl"
+        self.check(capsys, ["trace", "--trace-file", str(path)], path)
+
+    def test_ledger_file_corrupt(self, capsys, tmp_path):
+        path = tmp_path / "bad.ledger.jsonl"
+        path.write_text("{not json\n")
+        self.check(capsys, ["ledger", "--ledger-file", str(path)], path)
+
+    def test_why_ledger_file_missing(self, capsys, tmp_path):
+        path = tmp_path / "gone.ledger.jsonl"
+        self.check(capsys, ["why", "--ledger-file", str(path)], path)
+
+    def test_perf_report_phases_corrupt(self, capsys, tmp_path):
+        path = tmp_path / "bad.phases.jsonl"
+        path.write_text('{"phase": "unterminated\n')
+        self.check(capsys, ["perf-report", "--phases", str(path)], path)
+
+    def test_perf_report_windows_missing(self, capsys, tmp_path):
+        path = tmp_path / "none.windows.jsonl"
+        self.check(capsys, ["perf-report", "--windows", str(path)], path)
+
+    def test_bench_trend_corrupt_snapshot(self, capsys, tmp_path):
+        baseline = tmp_path / "base.json"
+        baseline.write_text("not json at all")
+        current = tmp_path / "cur.json"
+        current.write_text("{}")
+        self.check(
+            capsys,
+            ["bench-trend", "--baseline", str(baseline), "--current", str(current)],
+            baseline,
+        )
+
+    def test_serve_replay_from_missing(self, capsys, tmp_path):
+        path = tmp_path / "never.trace.jsonl"
+        self.check(capsys, ["serve", "--replay-from", str(path)], path)
+
+
+class TestServe:
+    def test_serve_runs_clean(self, capsys):
+        assert main(["serve", "--seed", "2014"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler service on backend 'sim'" in out
+        assert "service shutdown: clean" in out
+
+    def test_serve_throttled(self, capsys):
+        assert main(["serve", "--max-open", "2"]) == 0
+        assert "throttled" in capsys.readouterr().out
+
+    def test_serve_replay_roundtrip(self, capsys, tmp_path):
+        import json
+
+        from repro.experiments.table2 import _run_instrumented_config
+
+        _run_instrumented_config("Static", 2014, tmp_path)
+        trace = tmp_path / "Static.trace.jsonl"
+        assert trace.exists()
+        assert main(["serve", "--replay-from", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "backend 'replay'" in out
+        assert "service shutdown: clean" in out

@@ -103,7 +103,58 @@ class TestSWFExport:
         ][0]
         fields = line.split()
         assert int(fields[3]) == -1  # unknown runtime (never started)
-        assert int(fields[10]) == 0  # failed/cancelled status
+        assert int(fields[10]) == 5  # cancelled (aborted before it ever started)
+
+
+class TestSWFRoundTrip:
+    """Walltime (field 9) and status (field 11) survive export → import."""
+
+    def test_walltime_exported_as_requested_time(self):
+        system, a, b = run_small_system()
+        lines = [
+            l for l in to_swf(system.metrics()).splitlines() if not l.startswith(";")
+        ]
+        assert int(lines[0].split()[8]) == 100
+        assert int(lines[1].split()[8]) == 50
+
+    def test_roundtrip_preserves_walltime(self):
+        # with field 9 populated, import uses it directly — no
+        # walltime_factor fallback inflating the reimported limits
+        system, *_ = run_small_system()
+        wl = from_swf(to_swf(system.metrics()))
+        assert [(s.submit_time, s.request.cores, s.walltime) for s in wl.specs] == [
+            (0.0, 8, 100.0),
+            (0.0, 16, 50.0),
+        ]
+
+    def test_overrun_abort_is_failure_status(self):
+        system = BatchSystem(1, 8, MauiConfig())
+        system.submit(
+            Job(request=ResourceRequest(cores=8), walltime=10.0),
+            FixedRuntimeApp(50.0),  # overruns: killed at the walltime limit
+        )
+        system.run()
+        fields = [
+            l for l in to_swf(system.metrics()).splitlines() if not l.startswith(";")
+        ][0].split()
+        assert int(fields[10]) == 0  # started then aborted: a failure
+        assert int(fields[3]) == 10  # ran exactly to its limit
+
+    def test_cancelled_before_start_is_status_5(self):
+        system = BatchSystem(1, 4, MauiConfig())
+        job = system.submit(Job(request=ResourceRequest(cores=4), walltime=10.0))
+        system.server.cancel_queued(job)
+        system.run()
+        fields = [
+            l for l in to_swf(system.metrics()).splitlines() if not l.startswith(";")
+        ][0].split()
+        assert int(fields[10]) == 5
+
+    def test_completed_is_status_1(self):
+        system, *_ = run_small_system()
+        for line in to_swf(system.metrics()).splitlines():
+            if not line.startswith(";"):
+                assert int(line.split()[10]) == 1
 
 
 class TestSWFImport:
